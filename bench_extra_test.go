@@ -1,0 +1,204 @@
+package smartarrays
+
+// Benchmarks for the §7 extensions (collections, alternative encodings,
+// randomization, AutoNUMA) and the interop boundary costs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartarrays/internal/bench"
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/interop"
+)
+
+// BenchmarkSmartSetContains measures the sorted-set probe (log2 n
+// Function 1 gets).
+func BenchmarkSmartSetContains(b *testing.B) {
+	sys := NewSystem(SmallMachine())
+	values := make([]uint64, 1<<16)
+	for i := range values {
+		values[i] = uint64(i) * 7
+	}
+	set, err := sys.NewSet(values, Replicated, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Free()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if set.Contains(i&1, uint64(i%len(values))*7) {
+			hits++
+		}
+	}
+	if hits != b.N {
+		b.Fatalf("lost elements: %d/%d", hits, b.N)
+	}
+}
+
+// BenchmarkSmartMapGet measures the open-addressing probe over packed
+// arrays.
+func BenchmarkSmartMapGet(b *testing.B) {
+	sys := NewSystem(SmallMachine())
+	m, err := sys.NewHashMap(1<<15, 1<<30, 1<<30, Interleaved, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Free()
+	for i := uint64(0); i < 1<<15; i++ {
+		if err := m.Put(i*2654435761%(1<<30), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(i&1, uint64(i)*2654435761%(1<<30))
+	}
+}
+
+// BenchmarkEncodingSelect measures the §4.2 technique selector.
+func BenchmarkEncodingSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]uint64, 1<<14)
+	for i := range values {
+		values[i] = uint64(rng.Intn(64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encoding.Select(values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodingGet compares random access costs across encodings.
+func BenchmarkEncodingGet(b *testing.B) {
+	values := make([]uint64, 1<<14)
+	for i := range values {
+		values[i] = uint64(i / 64)
+	}
+	encs := map[string]encoding.Encoded{
+		"plain":     encoding.NewPlain(values),
+		"bitpacked": encoding.NewBitPacked(values),
+		"dict":      encoding.NewDict(values),
+		"rle":       encoding.NewRLE(values),
+	}
+	for name, e := range encs {
+		b.Run(name, func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += e.Get(uint64(i) & (1<<14 - 1))
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkJNIBoundaryCall measures one marshalled boundary crossing.
+func BenchmarkJNIBoundaryCall(b *testing.B) {
+	sys := NewSystem(SmallMachine())
+	ep := sys.EntryPoints()
+	h, err := ep.SmartArrayAllocate(1024, 64, Interleaved, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := interop.NewJNIBoundary(ep)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Get(h, 0, uint64(i)&1023); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectEntryPointCall is the inlined-path equivalent of the JNI
+// benchmark: same logical operation, no marshalling.
+func BenchmarkDirectEntryPointCall(b *testing.B) {
+	sys := NewSystem(SmallMachine())
+	ep := sys.EntryPoints()
+	h, err := ep.SmartArrayAllocate(1024, 64, Interleaved, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := ep.ResolveArray(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replica := arr.GetReplica(0)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += arr.Get(replica, uint64(i)&1023)
+	}
+	_ = sink
+}
+
+// BenchmarkRandomizedGet measures the permutation overhead per access.
+func BenchmarkRandomizedGet(b *testing.B) {
+	sys := NewSystem(SmallMachine())
+	arr, err := sys.Allocate(Config{Length: 1 << 14, Bits: 64, Placement: Interleaved})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer arr.Free()
+	r := Randomize(arr, 5)
+	for i := uint64(0); i < r.Length(); i++ {
+		r.Init(0, i, i)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.GetFrom(0, uint64(i)&(1<<14-1))
+	}
+	_ = sink
+}
+
+// BenchmarkAblations regenerates the full ablation suite.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if secs := bench.RunAblations(); len(secs) != 6 {
+			b.Fatalf("sections = %d", len(secs))
+		}
+	}
+}
+
+// BenchmarkColstoreAggregate measures the filtered column scan.
+func BenchmarkColstoreAggregate(b *testing.B) {
+	sys := NewSystem(SmallMachine())
+	const rows = 1 << 16
+	table, err := sys.NewTable(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer table.Free()
+	qty := make([]uint64, rows)
+	price := make([]uint64, rows)
+	for i := range qty {
+		qty[i] = uint64(i) % 1000
+		price[i] = uint64(i) % 65536
+	}
+	opts := TableOptions{Placement: Replicated}
+	if _, err := table.AddColumn("qty", qty, opts); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := table.AddColumn("price", price, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(rows * 2 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.Aggregate(Sum, "price", Pred{Column: "qty", Op: Gt, Value: 900}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossoverSearch measures the boundary finder.
+func BenchmarkCrossoverSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.RunCrossovers(); len(pts) != 2 {
+			b.Fatal("bad crossover count")
+		}
+	}
+}

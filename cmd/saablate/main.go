@@ -1,0 +1,16 @@
+// Command saablate runs the ablation studies of the reproduction's design
+// choices (DESIGN.md §5): the remote-stall factor, the power-law locality
+// boost, the runtime's batch grain, the chunk-unpack scan strategy, and
+// the §7 randomization functionality.
+package main
+
+import (
+	"os"
+
+	"smartarrays/internal/bench"
+)
+
+func main() {
+	bench.PrintAblations(os.Stdout, bench.RunAblations())
+	bench.PrintCrossovers(os.Stdout, bench.RunCrossovers())
+}

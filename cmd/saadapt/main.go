@@ -1,0 +1,57 @@
+// Command saadapt evaluates the adaptivity engine (paper §6.3) over the
+// benchmark grid, reporting decision accuracy, regret, and the improvement
+// over the best static configuration. With -table2 it prints the paper's
+// trade-off matrix; with -multi it demonstrates the multi-array extension
+// (the joint placement the paper lists as future work) on the PageRank
+// array set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartarrays/internal/adapt"
+	"smartarrays/internal/bench"
+	"smartarrays/internal/machine"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print every decision in the grid")
+	table2 := flag.Bool("table2", false, "print Table 2 (trade-offs) and exit")
+	multi := flag.Bool("multi", false, "demonstrate multi-array joint placement (PageRank array set)")
+	flag.Parse()
+
+	switch {
+	case *table2:
+		bench.PrintTable2(os.Stdout)
+	case *multi:
+		runMulti()
+	default:
+		rep := bench.RunAdaptivity()
+		bench.PrintAdaptReport(os.Stdout, rep, *verbose)
+	}
+}
+
+// runMulti jointly places the PageRank arrays (Twitter scale) on the
+// 8-core machine at several memory budgets.
+func runMulti() {
+	spec := machine.X52Small()
+	usages := []adapt.ArrayUsage{
+		{Name: "ranks", PayloadBytes: 336e6, RandomBytes: 62e9, ScanBytes: 0.34e9, ReadOnly: true},
+		{Name: "redge", PayloadBytes: 6e9, ScanBytes: 6e9, ReadOnly: true},
+		{Name: "rbegin", PayloadBytes: 336e6, ScanBytes: 0.34e9, ReadOnly: true},
+		{Name: "out-degrees", PayloadBytes: 336e6, RandomBytes: 3e9, ReadOnly: true},
+		{Name: "next-ranks", PayloadBytes: 336e6, WriteBytes: 0.34e9},
+	}
+	const instr = 50e9
+	fmt.Printf("Multi-array placement for PageRank on %s (one iteration)\n", spec.Name)
+	for _, budget := range []uint64{128 << 30, 7 << 30, 4 << 30} {
+		ds, res := adapt.DecideMulti(spec, budget, instr, usages)
+		fmt.Printf("  memory budget %3d GB/socket -> %.0f ms/iter, bottleneck %s\n",
+			budget>>30, res.Seconds*1e3, res.Bottleneck)
+		for _, d := range ds {
+			fmt.Printf("      %s\n", d)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command sagen generates synthetic graphs in the edge-list format the
+// library loads, and prints their shape statistics (degree skew,
+// compression widths):
+//
+//	sagen -kind powerlaw -vertices 100000 -degree 8 -out twitter-like.el
+//	sagen -kind uniform -vertices 1000000 -degree 3 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartarrays/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "powerlaw", "graph kind: uniform, powerlaw, ring, grid")
+	vertices := flag.Uint64("vertices", 100_000, "vertex count (grid: side length)")
+	degree := flag.Int("degree", 8, "average out-degree (uniform/powerlaw)")
+	alpha := flag.Float64("alpha", 1.6, "zipf exponent (powerlaw)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "", "write the edge list to this file ('-' for stdout)")
+	stats := flag.Bool("stats", true, "print graph statistics")
+	flag.Parse()
+
+	var g *graph.CSR
+	var err error
+	switch *kind {
+	case "uniform":
+		g, err = graph.GenerateUniform(*vertices, *degree, *seed)
+	case "powerlaw":
+		g, err = graph.GeneratePowerLaw(*vertices, *degree, *alpha, *seed)
+	case "ring":
+		g, err = graph.GenerateRing(*vertices)
+	case "grid":
+		g, err = graph.GenerateGrid(*vertices, *vertices)
+	default:
+		err = fmt.Errorf("unknown kind %q (want uniform, powerlaw, ring, grid)", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagen:", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		graph.PrintStats(os.Stdout, graph.ComputeStats(g))
+		hist := graph.DegreeHistogram(g)
+		fmt.Print("in-degree histogram (log2 buckets): ")
+		for b, c := range hist {
+			if c > 0 {
+				fmt.Printf("[2^%d]=%d ", b, c)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sagen:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graph.WriteEdgeList(w, g); err != nil {
+			fmt.Fprintln(os.Stderr, "sagen:", err)
+			os.Exit(1)
+		}
+		if *out != "-" {
+			fmt.Printf("wrote %d edges to %s\n", g.NumEdges, *out)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Command sastream runs the STREAM kernel quartet (Copy, Scale, Add,
+// Triad — McCalpin's benchmark, which the paper cites as the motivation
+// for its aggregation workload, §5.1) over smart arrays, reporting
+// modeled sustainable bandwidth per placement on both Table 1 machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartarrays/internal/bench"
+)
+
+func main() {
+	elements := flag.Uint64("elements", 1<<18, "elements per array for the real (verified) run")
+	flag.Parse()
+	rows, err := bench.RunStream(bench.Options{Elements: *elements, Verify: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sastream:", err)
+		os.Exit(1)
+	}
+	bench.PrintStreamTable(os.Stdout, rows)
+}

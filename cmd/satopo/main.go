@@ -1,0 +1,56 @@
+// Command satopo prints the modeled machines (paper Table 1) and their
+// derived performance characteristics: topology, bandwidths, and the
+// calibrated model parameters every experiment uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"smartarrays/internal/bench"
+	"smartarrays/internal/machine"
+)
+
+func main() {
+	name := flag.String("machine", "", "print one preset (small, large, uma, callisto) instead of Table 1")
+	flag.Parse()
+
+	if *name != "" {
+		spec, err := machine.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printSpec(spec)
+		return
+	}
+
+	bench.PrintTable1(os.Stdout)
+	fmt.Println()
+	fmt.Println("Calibrated model parameters (fixed against Figure 2, see DESIGN.md §5):")
+	for _, spec := range bench.Machines() {
+		fmt.Printf("  %s: IPC_eff=%.1f remote-stall=%.2f exec-rate=%.1f Ginstr/s/socket\n",
+			spec.Name, spec.IPCEff, spec.RemoteStallFactor, spec.ExecRate()/1e9)
+	}
+}
+
+func printSpec(s *machine.Spec) {
+	fmt.Println(s)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "sockets\t%d\n", s.Sockets)
+	fmt.Fprintf(tw, "cores/socket\t%d\n", s.CoresPerSocket)
+	fmt.Fprintf(tw, "threads/core\t%d\n", s.ThreadsPerCore)
+	fmt.Fprintf(tw, "hw threads\t%d\n", s.HWThreads())
+	fmt.Fprintf(tw, "clock\t%.1f GHz\n", s.ClockGHz)
+	fmt.Fprintf(tw, "memory/socket\t%d GB\n", s.MemPerSocketGB)
+	fmt.Fprintf(tw, "local latency\t%.0f ns\n", s.LocalLatencyNs)
+	fmt.Fprintf(tw, "remote latency\t%.0f ns\n", s.RemoteLatencyNs)
+	fmt.Fprintf(tw, "local bandwidth\t%.1f GB/s\n", s.LocalBWGBs)
+	fmt.Fprintf(tw, "remote bandwidth\t%.1f GB/s\n", s.RemoteBWGBs)
+	fmt.Fprintf(tw, "total local bandwidth\t%.1f GB/s\n", s.TotalLocalBWGBs())
+	fmt.Fprintf(tw, "LLC/socket\t%.0f MB\n", s.LLCMB)
+	fmt.Fprintf(tw, "exec rate/socket\t%.1f Ginstr/s\n", s.ExecRate()/1e9)
+	tw.Flush()
+}

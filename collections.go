@@ -1,0 +1,61 @@
+package smartarrays
+
+import (
+	"smartarrays/internal/collections"
+	"smartarrays/internal/core"
+	"smartarrays/internal/encoding"
+)
+
+// Smart collections (paper §7): sets and maps whose storage is smart
+// arrays, inheriting placement and compression without re-implementation.
+type (
+	// Set is an immutable sorted set over a bit-compressed smart array.
+	Set = collections.SmartSet
+	// HashMap is a read-optimized open-addressing map over smart arrays.
+	HashMap = collections.SmartMap
+)
+
+// NewSet builds a set from values (deduplicated, sorted, packed at the
+// minimum width) with the given placement.
+func (s *System) NewSet(values []uint64, p Placement, socket int) (*Set, error) {
+	return collections.NewSmartSet(s.rt.Memory(), values, p, socket)
+}
+
+// NewHashMap creates a map with capacity for n entries whose keys and
+// values are packed at the minimum widths for maxKey/maxValue.
+func (s *System) NewHashMap(n, maxKey, maxValue uint64, p Placement, socket int) (*HashMap, error) {
+	return collections.NewSmartMap(s.rt.Memory(), n, maxKey, maxValue, p, socket)
+}
+
+// Alternative compression techniques (paper §4.2/§7): dictionary and
+// run-length encoding with automatic technique selection.
+type (
+	// Encoded is the common interface over an encoded array.
+	Encoded = encoding.Encoded
+	// EncodingKind identifies a technique.
+	EncodingKind = encoding.Kind
+)
+
+// Encoding technique identifiers.
+const (
+	EncodingPlain     = encoding.Plain
+	EncodingBitPacked = encoding.BitPacked
+	EncodingDict      = encoding.Dict
+	EncodingRLE       = encoding.RLE
+)
+
+// SelectEncoding builds all candidate encodings of values and returns the
+// smallest — the paper's envisioned dynamic selection of the compression
+// technique.
+func SelectEncoding(values []uint64) (Encoded, error) {
+	return encoding.Select(values)
+}
+
+// RandomizedArray is the §7 randomization functionality: index remapping
+// that spreads hot neighbours across memory channels.
+type RandomizedArray = core.RandomizedArray
+
+// Randomize wraps an array with an index permutation derived from seed.
+func Randomize(a *Array, seed uint64) *RandomizedArray {
+	return core.NewRandomized(a, seed)
+}

@@ -1,0 +1,127 @@
+package smartarrays_test
+
+// Runnable documentation: each Example compiles, runs under go test, and
+// its output is verified — the Go-idiomatic companion to the examples/
+// programs.
+
+import (
+	"fmt"
+
+	"smartarrays"
+)
+
+// The canonical allocate–initialize–aggregate flow.
+func ExampleSystem_SumArray() {
+	sys := smartarrays.NewSystem(smartarrays.LargeMachine())
+	arr, err := sys.Allocate(smartarrays.Config{
+		Length:    1000,
+		Bits:      33,
+		Placement: smartarrays.Replicated,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer arr.Free()
+	for i := uint64(0); i < arr.Length(); i++ {
+		arr.Init(0, i, i)
+	}
+	fmt.Println(sys.SumArray(arr))
+	// Output: 499500
+}
+
+// Iterating with the paper's Function 4 pattern.
+func ExampleNewIterator() {
+	sys := smartarrays.NewSystem(smartarrays.SmallMachine())
+	arr, err := sys.AllocateFor([]uint64{10, 20, 30}, smartarrays.Interleaved, 0)
+	if err != nil {
+		panic(err)
+	}
+	defer arr.Free()
+	it := smartarrays.NewIterator(arr, 0, 0)
+	for i := uint64(0); i < arr.Length(); i++ {
+		fmt.Println(it.Get())
+		it.Next()
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+// The §7 bounded-map API unpacks whole chunks at once.
+func ExampleMap() {
+	sys := smartarrays.NewSystem(smartarrays.SmallMachine())
+	arr, err := sys.AllocateFor([]uint64{1, 2, 3, 4}, smartarrays.Interleaved, 0)
+	if err != nil {
+		panic(err)
+	}
+	defer arr.Free()
+	var evens int
+	smartarrays.Map(arr, 0, 0, arr.Length(), func(_, v uint64) {
+		if v%2 == 0 {
+			evens++
+		}
+	})
+	fmt.Println(evens)
+	// Output: 2
+}
+
+// Minimum-width selection, the paper's §4.2 compression rule.
+func ExampleMinBits() {
+	fmt.Println(smartarrays.MinBits(0x1FFFFFFFF)) // the paper's Figure 8b value
+	fmt.Println(smartarrays.MinBits(255))
+	// Output:
+	// 33
+	// 8
+}
+
+// The §6 adaptivity pipeline: measure, then ask for a recommendation.
+func ExampleSystem_Recommend() {
+	sys := smartarrays.NewSystem(smartarrays.SmallMachine())
+	profile := sys.ProfileScanWorkload(1<<28, 10, 33)
+	choice := sys.Recommend(smartarrays.Traits{
+		ReadOnly:                         true,
+		MostlyReads:                      true,
+		MultipleLinearAccessesPerElement: true,
+	}, profile)
+	fmt.Println(choice)
+	// Output: replicated
+}
+
+// Automatic selection among compression techniques (§4.2/§7).
+func ExampleSelectEncoding() {
+	values := make([]uint64, 10_000)
+	for i := range values {
+		values[i] = uint64(i / 1000) // long runs
+	}
+	enc, err := smartarrays.SelectEncoding(values)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(enc.Kind())
+	// Output: rle
+}
+
+// Column-store queries over packed smart-array columns (§5.1).
+func ExampleSystem_NewTable() {
+	sys := smartarrays.NewSystem(smartarrays.SmallMachine())
+	table, err := sys.NewTable(4)
+	if err != nil {
+		panic(err)
+	}
+	defer table.Free()
+	opts := smartarrays.TableOptions{Placement: smartarrays.Interleaved}
+	if _, err := table.AddColumn("qty", []uint64{5, 12, 7, 20}, opts); err != nil {
+		panic(err)
+	}
+	if _, err := table.AddColumn("price", []uint64{100, 200, 300, 400}, opts); err != nil {
+		panic(err)
+	}
+	revenue, err := table.Aggregate(smartarrays.Sum, "price",
+		smartarrays.Pred{Column: "qty", Op: smartarrays.Gt, Value: 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(revenue)
+	// Output: 600
+}

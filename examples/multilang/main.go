@@ -1,0 +1,118 @@
+// Multilang: the paper's language-independence claim (§3, Figure 3) in
+// action — the same smart array, implemented once, consumed by the host
+// language and by a guest-language VM through four access paths, with the
+// cost of each path measured.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"smartarrays"
+	"smartarrays/internal/interop"
+	"smartarrays/internal/minivm"
+)
+
+const n = 1 << 18
+
+func main() {
+	sys := smartarrays.NewSystem(smartarrays.SmallMachine())
+	ep := sys.EntryPoints()
+
+	// One 33-bit compressed smart array, allocated through the entry
+	// points (as a guest language would).
+	handle, err := ep.SmartArrayAllocate(n, 33, smartarrays.Interleaved, 0)
+	if err != nil {
+		panic(err)
+	}
+	var want uint64
+	for i := uint64(0); i < n; i++ {
+		v := (i * 31) & ((1 << 33) - 1)
+		if err := ep.SmartArrayInit(handle, 0, i, v); err != nil {
+			panic(err)
+		}
+		want += v
+	}
+
+	// Host language (the paper's C++): direct calls.
+	arr, err := ep.ResolveArray(handle)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	sum := smartarrays.SumRange(arr, 0, 0, n)
+	report("host (C++)", sum, want, time.Since(start), 0)
+
+	// Guest language via the inlined entry points (the GraalVM/Sulong
+	// path): the VM compiles the loop against the profiled bit width.
+	runGuest("guest + smart arrays", want, &minivm.ArrayBinding{
+		Path: minivm.PathSmart, EP: ep, Handle: handle,
+	}, nil)
+
+	// Guest language via JNI: every element access marshals across the
+	// boundary.
+	jni := interop.NewJNIBoundary(ep)
+	runGuest("guest + JNI", want, &minivm.ArrayBinding{
+		Path: minivm.PathJNI, EP: ep, JNI: jni, Handle: handle,
+	}, jni)
+
+	// Guest language via unsafe raw words: fast, but the raw words of a
+	// compressed array are NOT the elements — the sum comes out wrong,
+	// which is exactly the paper's argument for smart arrays.
+	words, err := ep.UnsafeWords(handle, 0)
+	if err != nil {
+		panic(err)
+	}
+	vm, err := minivm.New(minivm.SumIterProgram(n/8), []*minivm.ArrayBinding{{
+		Path: minivm.PathUnsafe, Unsafe: words,
+	}})
+	if err != nil {
+		panic(err)
+	}
+	if err := vm.BindIter(0, 0, 0); err != nil {
+		panic(err)
+	}
+	wrong, err := vm.Interpret()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-22s sum of raw words != sum of elements (%d) — smart functionality lost\n",
+		"guest + unsafe", wrong)
+}
+
+func runGuest(name string, want uint64, binding *minivm.ArrayBinding, jni *interop.JNIBoundary) {
+	vm, err := minivm.New(minivm.SumIterProgram(n), []*minivm.ArrayBinding{binding})
+	if err != nil {
+		panic(err)
+	}
+	if err := vm.BindIter(0, 0, 0); err != nil {
+		panic(err)
+	}
+	cp, err := vm.Compile()
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	sum, err := cp.Run()
+	if err != nil {
+		panic(err)
+	}
+	var crossings uint64
+	if jni != nil {
+		crossings = jni.CallsMade
+	}
+	report(name, sum, want, time.Since(start), crossings)
+}
+
+func report(name string, sum, want uint64, elapsed time.Duration, crossings uint64) {
+	status := "ok"
+	if sum != want {
+		status = "WRONG"
+	}
+	extra := ""
+	if crossings > 0 {
+		extra = fmt.Sprintf("  (%d boundary crossings)", crossings)
+	}
+	fmt.Printf("%-22s sum=%d [%s]  %8.2f ns/elem%s\n",
+		name, sum, status, float64(elapsed.Nanoseconds())/float64(n), extra)
+}

@@ -1,0 +1,3 @@
+module smartarrays
+
+go 1.22

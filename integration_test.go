@@ -1,0 +1,216 @@
+package smartarrays
+
+// End-to-end scenarios across the whole stack: facade + runtime + memory
+// capacity + adaptivity + guest language, the flows a downstream adopter
+// would run.
+
+import (
+	"bytes"
+	"testing"
+
+	"smartarrays/internal/graph"
+	"smartarrays/internal/minivm"
+)
+
+// TestEndToEndCapacityPressure: when uncompressed replicas do not fit but
+// compressed ones do, the adaptivity engine must route through Figure
+// 13b's second space test and still replicate — compressed.
+func TestEndToEndCapacityPressure(t *testing.T) {
+	sys := NewSystem(LargeMachine())
+	const n = 1 << 20 // 8 MiB per uncompressed copy
+
+	// Shrink simulated DRAM so an uncompressed replica cannot fit
+	// alongside the existing array, but a 16-bit compressed one can:
+	// per socket, the interleaved original occupies n*8/2 bytes; a full
+	// uncompressed replica needs n*8 more (total 12 MiB > 8 MiB), a
+	// 16-bit one only n*2 (6 MiB <= 8 MiB).
+	sys.Runtime().Memory().SetCapacityBytes(n * 8)
+
+	arr, err := sys.Allocate(Config{Length: n, Bits: 64, Placement: Interleaved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Free()
+	for i := uint64(0); i < n; i++ {
+		arr.Init(0, i, i&0xFFFF)
+	}
+
+	profile := sys.ProfileScanWorkload(n, 10, 16)
+	// The facade derived the space bits from the shrunken capacity.
+	if profile.SpaceForUncompressedReplication {
+		t.Fatal("uncompressed replication should not fit")
+	}
+	if !profile.SpaceForCompressedReplication {
+		t.Fatal("compressed replication should fit")
+	}
+
+	choice := sys.Recommend(Traits{
+		ReadOnly: true, MostlyReads: true,
+		MultipleLinearAccessesPerElement: true,
+	}, profile)
+	if !choice.Compressed || choice.Placement != Replicated {
+		t.Fatalf("under capacity pressure, decision = %v; want compressed replication", choice)
+	}
+
+	// Apply it for real: re-encode at 16 bits, replicate, verify.
+	packed, err := sys.Allocate(Config{Length: n, Bits: 16, Placement: Interleaved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer packed.Free()
+	replica := arr.GetReplica(0)
+	for i := uint64(0); i < n; i++ {
+		packed.Init(0, i, arr.Get(replica, i))
+	}
+	if _, err := packed.Migrate(choice.Placement, choice.Socket); err != nil {
+		t.Fatalf("compressed replication should fit in the shrunken memory: %v", err)
+	}
+	if got, want := sys.SumArray(packed), sys.SumArray(arr); got != want {
+		t.Fatalf("re-encoded sum %d != %d", got, want)
+	}
+	// And the uncompressed replication must indeed fail for real.
+	if _, err := arr.Migrate(Replicated, 0); err == nil {
+		t.Fatal("uncompressed replication unexpectedly fit")
+	}
+}
+
+// TestEndToEndGuestLanguageSeesMigration: a guest-language program keeps
+// computing correct results while the host migrates the array between
+// placements (replica selection is behind the entry points).
+func TestEndToEndGuestLanguageSeesMigration(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	ep := sys.EntryPoints()
+	const n = 1 << 12
+	h, err := ep.SmartArrayAllocate(n, 20, Interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := uint64(0); i < n; i++ {
+		v := (i * 17) & 0xFFFFF
+		if err := ep.SmartArrayInit(h, 0, i, v); err != nil {
+			t.Fatal(err)
+		}
+		want += v
+	}
+	runGuestSum := func() uint64 {
+		vm, err := minivm.New(minivm.SumIterProgram(n), []*minivm.ArrayBinding{{
+			Path: minivm.PathSmart, EP: ep, Handle: h, Socket: 1,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.BindIter(0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := vm.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := runGuestSum(); got != want {
+		t.Fatalf("guest sum before migration = %d, want %d", got, want)
+	}
+	arr, err := ep.ResolveArray(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Placement{Replicated, SingleSocket, Interleaved} {
+		if _, err := arr.Migrate(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := runGuestSum(); got != want {
+			t.Fatalf("guest sum under %v = %d, want %d", p, got, want)
+		}
+	}
+	if err := ep.SmartArrayFree(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndToEndGraphPipeline: generate -> serialize -> reload -> smart
+// arrays -> analytics, with identical results before and after the I/O
+// round trip.
+func TestEndToEndGraphPipeline(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	g1, err := graph.GeneratePowerLaw(2000, 6, 1.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := PageRankConfig{Damping: 0.85, Tol: 1e-3, MaxIters: 100}
+	sg1, err := sys.NewSmartGraph(g1, GraphLayout{Placement: Replicated, CompressBegin: true, CompressEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg1.Free()
+	sg2, err := sys.NewSmartGraph(g2, GraphLayout{Placement: Interleaved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg2.Free()
+
+	r1, it1, err := sys.PageRank(sg1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, it2, err := sys.PageRank(sg2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it1 != it2 {
+		t.Fatalf("iteration counts differ after I/O round trip: %d vs %d", it1, it2)
+	}
+	for v := range r1 {
+		if d := r1[v] - r2[v]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("rank[%d] differs after I/O round trip", v)
+		}
+	}
+}
+
+// TestEndToEndCollections: collections on top of the same memory
+// accounting as arrays — allocations must balance to zero.
+func TestEndToEndCollections(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	mem := sys.Runtime().Memory()
+	base := mem.TotalUsedBytes()
+
+	set, err := sys.NewSet([]uint64{5, 10, 15}, Replicated, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.NewHashMap(100, 1000, 1000, Interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !set.Contains(1, 10) {
+		t.Error("set lost an element")
+	}
+	if v, ok := m.Get(1, 5); !ok || v != 50 {
+		t.Error("map lost an entry")
+	}
+	if mem.TotalUsedBytes() <= base {
+		t.Error("collections consumed no simulated memory")
+	}
+	set.Free()
+	m.Free()
+	if got := mem.TotalUsedBytes(); got != base {
+		t.Errorf("leaked %d simulated bytes", got-base)
+	}
+}

@@ -1,0 +1,244 @@
+// Package adapt implements the paper's adaptivity algorithm (§6): given a
+// machine specification, an array performance specification, and a workload
+// profile measured from hardware counters, it selects the smart-array
+// configuration (placement × compression) predicted to be fastest.
+//
+// The algorithm is the paper's two-step process:
+//
+//	Step 1 (§6.1): walk the decision diagrams of Figure 13 to pick one
+//	placement candidate for uncompressed data and, when compression is
+//	admissible at all, one for compressed data.
+//
+//	Step 2 (§6.2): adjust the measured profile with the compressed
+//	variant's extra compute (exec_compressed) and reduced traffic
+//	(bw_compressed), estimate each candidate's speedup as the per-socket
+//	minimum of its compute and bandwidth headroom ratios, and keep the
+//	candidate predicted fastest.
+//
+// Profiles are measured, as in the paper, from a run with the flexible
+// initial configuration: uncompressed, interleaved, threads on all cores.
+package adapt
+
+import (
+	"fmt"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+// Traits are the "software characteristics" of Figure 13: facts the
+// programmer declares about the workload rather than measures.
+type Traits struct {
+	// ReadOnly: the array is never written after initialization
+	// (replication without coherence cost).
+	ReadOnly bool
+	// MostlyReads: writes are rare enough that compression's
+	// read-oriented trade-off applies (Figure 13b's entry test).
+	MostlyReads bool
+	// MultipleLinearAccessesPerElement: the workload scans the array
+	// enough times to amortize replica initialization.
+	MultipleLinearAccessesPerElement bool
+	// MultipleRandomAccessesPerElement: ditto for random access patterns.
+	MultipleRandomAccessesPerElement bool
+}
+
+// Profile is the "runtime characteristics" input: measurements from the
+// counter fabric during the initial (uncompressed, interleaved) run, plus
+// machine- and array-specific constants (§6's three inputs).
+type Profile struct {
+	// MemoryBound: the measured run was limited by memory traffic rather
+	// than compute (bottleneck ∈ {memory, interconnect, issue}).
+	MemoryBound bool
+	// SignificantRandomAccesses: a non-trivial share of accesses are
+	// random gathers (latency-sensitive; expensive under compression).
+	SignificantRandomAccesses bool
+
+	// ExecCurrent is the measured execution rate (instructions/s) per
+	// socket; ExecMax the machine's peak per socket.
+	ExecCurrent float64
+	ExecMax     float64
+	// BWCurrentMemory is the measured per-socket memory bandwidth
+	// (bytes/s); BWMaxMemory the socket peak; BWMaxInterconnect the
+	// per-direction link peak — all scaled to observed utilization per
+	// the paper.
+	BWCurrentMemory   float64
+	BWMaxMemory       float64
+	BWMaxInterconnect float64
+
+	// AccessesPerSec is the measured element access rate per socket
+	// (the paper's #accesses).
+	AccessesPerSec float64
+	// CostPerCompressedAccess is the extra instructions a compressed
+	// access costs on this machine (array + machine specific, §6.2).
+	CostPerCompressedAccess float64
+	// CompressionRatio is r ∈ (0,1]: compressed size / uncompressed size.
+	CompressionRatio float64
+	// ElemBytes is the uncompressed element size (8 for 64-bit arrays).
+	ElemBytes float64
+
+	// SpaceForUncompressedReplication / SpaceForCompressedReplication:
+	// does each socket have DRAM for a full (un)compressed replica
+	// (Figure 13's two space tests — compression can make replication
+	// possible where uncompressed data would not fit).
+	SpaceForUncompressedReplication bool
+	SpaceForCompressedReplication   bool
+}
+
+// Candidate is a selected configuration.
+type Candidate struct {
+	// Placement is the NUMA placement.
+	Placement memsim.Placement
+	// Socket is the single-socket target (always 0 here: the diagrams
+	// do not distinguish sockets on symmetric machines).
+	Socket int
+	// Compressed selects bit compression.
+	Compressed bool
+	// Reason records the decision path for reports (Table 2 rationale).
+	Reason string
+	// PredictedSpeedup is filled by step 2 for the chosen candidate.
+	PredictedSpeedup float64
+}
+
+// String formats the candidate like the paper's figure labels.
+func (c Candidate) String() string {
+	s := c.Placement.String()
+	if c.Compressed {
+		s += " + compression"
+	}
+	return s
+}
+
+// singleSocketBeneficial implements §6.1's "all local speedup > all remote
+// slowdown" test.
+func singleSocketBeneficial(p *Profile) bool {
+	if p.BWCurrentMemory <= 0 || p.ExecCurrent <= 0 {
+		return false
+	}
+	improvementExec := p.ExecMax / p.ExecCurrent
+	improvementBW := (p.BWMaxMemory - p.BWMaxInterconnect) / p.BWCurrentMemory
+	speedupLocal := improvementExec
+	if improvementBW < speedupLocal {
+		speedupLocal = improvementBW
+	}
+	speedupRemote := p.BWMaxInterconnect / p.BWCurrentMemory
+	return (speedupLocal+speedupRemote)/2 > 1
+}
+
+// SelectUncompressedPlacement walks Figure 13a and returns the placement
+// candidate for uncompressed data.
+func SelectUncompressedPlacement(tr Traits, p *Profile) Candidate {
+	if !p.MemoryBound {
+		return Candidate{Placement: memsim.Interleaved,
+			Reason: "not memory bound: placement immaterial, interleave for symmetry"}
+	}
+	if tr.ReadOnly && p.SpaceForUncompressedReplication {
+		if p.SignificantRandomAccesses {
+			if tr.MultipleRandomAccessesPerElement {
+				return Candidate{Placement: memsim.Replicated,
+					Reason: "read-only, space available, repeated random accesses amortize replicas"}
+			}
+		} else if tr.MultipleLinearAccessesPerElement {
+			return Candidate{Placement: memsim.Replicated,
+				Reason: "read-only, space available, repeated linear accesses amortize replicas"}
+		}
+	}
+	if singleSocketBeneficial(p) {
+		return Candidate{Placement: memsim.SingleSocket,
+			Reason: "local speedup outweighs remote slowdown (high local/remote bandwidth ratio)"}
+	}
+	return Candidate{Placement: memsim.Interleaved,
+		Reason: "memory bound: spread load across memory channels"}
+}
+
+// SelectCompressedPlacement walks Figure 13b. ok is false when compression
+// is not admissible for this workload at all ("No Compression").
+func SelectCompressedPlacement(tr Traits, p *Profile) (c Candidate, ok bool) {
+	if !p.MemoryBound {
+		return Candidate{Reason: "not memory bound: decompression load cannot be hidden"}, false
+	}
+	if !tr.MostlyReads {
+		return Candidate{Reason: "write-heavy: per-write pack cost and synchronization"}, false
+	}
+	if p.SignificantRandomAccesses && !tr.MultipleRandomAccessesPerElement {
+		return Candidate{Reason: "random accesses load extra words under compression"}, false
+	}
+	if tr.ReadOnly && p.SpaceForCompressedReplication &&
+		(tr.MultipleLinearAccessesPerElement || tr.MultipleRandomAccessesPerElement) {
+		return Candidate{Placement: memsim.Replicated, Compressed: true,
+			Reason: "read-only, compressed replicas fit, accesses amortize initialization"}, true
+	}
+	if singleSocketBeneficial(p) {
+		return Candidate{Placement: memsim.SingleSocket, Compressed: true,
+			Reason: "local speedup outweighs remote slowdown"}, true
+	}
+	return Candidate{Placement: memsim.Interleaved, Compressed: true,
+		Reason: "memory bound: compressed stream across all channels"}, true
+}
+
+// estimateSpeedup implements §6.2's analytics: the candidate's predicted
+// speedup over the measured run is the per-socket minimum of its compute
+// headroom and its bandwidth headroom (averaged over sockets; symmetric
+// machines collapse to one term).
+func estimateSpeedup(spec *machine.Spec, p *Profile, c Candidate) float64 {
+	exec := p.ExecCurrent
+	bw := p.BWCurrentMemory
+	if c.Compressed {
+		exec = p.ExecCurrent + p.AccessesPerSec*p.CostPerCompressedAccess
+		bw = p.BWCurrentMemory - p.AccessesPerSec*(1-p.CompressionRatio)*p.ElemBytes
+		if bw <= 0 {
+			bw = 1 // fully cached/compressed away; headroom is compute-bound
+		}
+	}
+	computeRatio := p.ExecMax / exec
+	bwMax := maxBandwidthFor(spec, p, c)
+	bwRatio := bwMax / bw
+	if computeRatio < bwRatio {
+		return computeRatio
+	}
+	return bwRatio
+}
+
+// maxBandwidthFor is the per-socket memory bandwidth the placement can
+// reach on this machine, scaled like the paper to the utilization the
+// measurement achieved (we measure with the model, so utilization is the
+// profile's BWMaxMemory already).
+func maxBandwidthFor(spec *machine.Spec, p *Profile, c Candidate) float64 {
+	switch c.Placement {
+	case memsim.Replicated:
+		// All accesses local: the full socket channel.
+		return p.BWMaxMemory
+	case memsim.SingleSocket:
+		// One memory serves everyone: per socket that is local bandwidth
+		// shared across sockets.
+		return p.BWMaxMemory / float64(spec.Sockets)
+	default:
+		// Interleaved: each socket sustains its share of every channel,
+		// limited by the link for the remote part; stall-adjusted.
+		n := float64(spec.Sockets)
+		remoteShare := (n - 1) / n
+		link := p.BWMaxInterconnect
+		channel := p.BWMaxMemory / (1 + remoteShare*(spec.RemoteStallFactor-1))
+		if link/remoteShare < channel {
+			return link / remoteShare
+		}
+		return channel
+	}
+}
+
+// Decide runs the full §6 pipeline: step 1 candidate selection, step 2
+// compression decision. It returns the chosen configuration with its
+// predicted speedup and decision trail.
+func Decide(spec *machine.Spec, tr Traits, p *Profile) Candidate {
+	unc := SelectUncompressedPlacement(tr, p)
+	unc.PredictedSpeedup = estimateSpeedup(spec, p, unc)
+	comp, ok := SelectCompressedPlacement(tr, p)
+	if !ok {
+		unc.Reason = fmt.Sprintf("%s; compression rejected: %s", unc.Reason, comp.Reason)
+		return unc
+	}
+	comp.PredictedSpeedup = estimateSpeedup(spec, p, comp)
+	if comp.PredictedSpeedup > unc.PredictedSpeedup {
+		return comp
+	}
+	return unc
+}

@@ -1,0 +1,206 @@
+package adapt
+
+import (
+	"testing"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/perfmodel"
+)
+
+// measureAggregation models the §6 measurement run — the two-array
+// aggregation with the flexible initial configuration (uncompressed,
+// interleaved) — and derives the profile, proposing compression at bits.
+func measureAggregation(spec *machine.Spec, bits uint) *Profile {
+	const elems = 4 * machine.GB / 8 // per array, paper scale
+	codec := bitpack.MustNew(64)
+	w := perfmodel.Workload{
+		Instructions: 2 * elems * perfmodel.CostScan(64),
+		Streams: []perfmodel.Stream{
+			{Kind: perfmodel.Read, Bytes: float64(codec.CompressedBytes(elems)), Placement: memsim.Interleaved},
+			{Kind: perfmodel.Read, Bytes: float64(codec.CompressedBytes(elems)), Placement: memsim.Interleaved},
+		},
+	}
+	res := perfmodel.Solve(spec, w)
+	return ProfileFromResult(spec, res, ProfileOpts{
+		Accesses:              2 * elems,
+		CompressedBits:        bits,
+		UncompressedBits:      64,
+		SpaceUncompressedRepl: true,
+		SpaceCompressedRepl:   true,
+	})
+}
+
+var scanTraits = Traits{
+	ReadOnly:                         true,
+	MostlyReads:                      true,
+	MultipleLinearAccessesPerElement: true,
+}
+
+func TestStep1PicksReplicatedForReadOnlyScans(t *testing.T) {
+	for _, spec := range []*machine.Spec{machine.X52Small(), machine.X52Large()} {
+		p := measureAggregation(spec, 33)
+		c := SelectUncompressedPlacement(scanTraits, p)
+		if c.Placement != memsim.Replicated {
+			t.Errorf("%s: uncompressed candidate = %v, want replicated (%s)", spec.Name, c.Placement, c.Reason)
+		}
+		cc, ok := SelectCompressedPlacement(scanTraits, p)
+		if !ok || cc.Placement != memsim.Replicated || !cc.Compressed {
+			t.Errorf("%s: compressed candidate = %v ok=%v, want replicated+compression", spec.Name, cc, ok)
+		}
+	}
+}
+
+func TestStep1NoReplicationWithoutSpace(t *testing.T) {
+	p := measureAggregation(machine.X52Small(), 33)
+	p.SpaceForUncompressedReplication = false
+	c := SelectUncompressedPlacement(scanTraits, p)
+	if c.Placement == memsim.Replicated {
+		t.Errorf("replication chosen without space: %s", c.Reason)
+	}
+	// Compression can still replicate if compressed replicas fit —
+	// Figure 13's point about the two space tests.
+	cc, ok := SelectCompressedPlacement(scanTraits, p)
+	if !ok || cc.Placement != memsim.Replicated {
+		t.Errorf("compressed candidate = %v ok=%v, want replicated", cc, ok)
+	}
+}
+
+func TestStep1NoReplicationForWritableData(t *testing.T) {
+	p := measureAggregation(machine.X52Small(), 33)
+	tr := scanTraits
+	tr.ReadOnly = false
+	if c := SelectUncompressedPlacement(tr, p); c.Placement == memsim.Replicated {
+		t.Errorf("replication chosen for writable data: %s", c.Reason)
+	}
+}
+
+func TestStep1NotMemoryBoundInterleaves(t *testing.T) {
+	p := measureAggregation(machine.X52Small(), 33)
+	p.MemoryBound = false
+	if c := SelectUncompressedPlacement(scanTraits, p); c.Placement != memsim.Interleaved {
+		t.Errorf("non-memory-bound candidate = %v, want interleaved", c.Placement)
+	}
+	if _, ok := SelectCompressedPlacement(scanTraits, p); ok {
+		t.Error("compression admitted for a non-memory-bound workload")
+	}
+}
+
+func TestStep1CompressionRejectsWriteHeavy(t *testing.T) {
+	p := measureAggregation(machine.X52Small(), 33)
+	tr := scanTraits
+	tr.MostlyReads = false
+	if _, ok := SelectCompressedPlacement(tr, p); ok {
+		t.Error("compression admitted for a write-heavy workload")
+	}
+}
+
+func TestStep1CompressionRejectsRandomHeavy(t *testing.T) {
+	p := measureAggregation(machine.X52Small(), 33)
+	p.SignificantRandomAccesses = true
+	tr := scanTraits // no MultipleRandomAccessesPerElement
+	if _, ok := SelectCompressedPlacement(tr, p); ok {
+		t.Error("compression admitted for one-shot random accesses")
+	}
+}
+
+func TestSingleSocketBeneficialRequiresHighRatio(t *testing.T) {
+	// A machine whose interconnect is nearly as fast as memory: single
+	// socket never wins.
+	p := &Profile{
+		MemoryBound:       true,
+		ExecCurrent:       1e9,
+		ExecMax:           100e9,
+		BWCurrentMemory:   30e9,
+		BWMaxMemory:       40e9,
+		BWMaxInterconnect: 35e9,
+	}
+	if singleSocketBeneficial(p) {
+		// speedupLocal = min(100, (40-35)/30) = 0.17; remote = 1.17; avg < 1
+		t.Error("single socket should not be beneficial with fast interconnect")
+	}
+	// Pathological: enormous headroom on the local socket.
+	p2 := &Profile{
+		MemoryBound:       true,
+		ExecCurrent:       1e9,
+		ExecMax:           100e9,
+		BWCurrentMemory:   5e9,
+		BWMaxMemory:       50e9,
+		BWMaxInterconnect: 8e9,
+	}
+	if !singleSocketBeneficial(p2) {
+		// local = min(100, (50-8)/5=8.4) = 8.4; remote = 1.6; avg = 5 > 1
+		t.Error("single socket should be beneficial with huge local headroom")
+	}
+}
+
+// TestDecideMatchesGroundTruthOnBothMachines is the heart of §6: on the
+// 8-core machine compression must be rejected (no spare compute), on the
+// 18-core machine the compressed replicated configuration must win.
+func TestDecideMatchesGroundTruth(t *testing.T) {
+	small := Decide(machine.X52Small(), scanTraits, measureAggregation(machine.X52Small(), 33))
+	if small.Compressed || small.Placement != memsim.Replicated {
+		t.Errorf("8-core decision = %v, want uncompressed replicated", small)
+	}
+	large := Decide(machine.X52Large(), scanTraits, measureAggregation(machine.X52Large(), 33))
+	if !large.Compressed || large.Placement != memsim.Replicated {
+		t.Errorf("18-core decision = %v, want replicated + compression", large)
+	}
+	if large.PredictedSpeedup <= 1 {
+		t.Errorf("18-core predicted speedup = %v, want > 1", large.PredictedSpeedup)
+	}
+}
+
+func TestDecideHighCompressionAlwaysWinsOnLarge(t *testing.T) {
+	// 10-bit data compresses 6.4x: even more clearly a win on the 18-core
+	// machine (the paper's up-to-4x case).
+	c := Decide(machine.X52Large(), scanTraits, measureAggregation(machine.X52Large(), 10))
+	if !c.Compressed {
+		t.Errorf("18-core 10-bit decision = %v, want compression", c)
+	}
+}
+
+func TestProfileFromResultDerivations(t *testing.T) {
+	spec := machine.X52Small()
+	p := measureAggregation(spec, 33)
+	if !p.MemoryBound {
+		t.Error("aggregation measurement should be memory bound")
+	}
+	if p.SignificantRandomAccesses {
+		t.Error("aggregation has no random accesses")
+	}
+	if p.ExecMax != spec.ExecRate() {
+		t.Errorf("ExecMax = %v, want %v", p.ExecMax, spec.ExecRate())
+	}
+	if p.CompressionRatio <= 0.5 || p.CompressionRatio >= 0.53 {
+		t.Errorf("33/64 compression ratio = %v, want ~0.516", p.CompressionRatio)
+	}
+	if p.CostPerCompressedAccess <= 0 {
+		t.Errorf("compressed access cost = %v, want > 0", p.CostPerCompressedAccess)
+	}
+	if p.ElemBytes != 8 {
+		t.Errorf("ElemBytes = %v, want 8", p.ElemBytes)
+	}
+}
+
+func TestProfileRandomFractionThreshold(t *testing.T) {
+	spec := machine.X52Small()
+	res := perfmodel.Result{Seconds: 1, Bottleneck: perfmodel.BottleneckMemory,
+		Instructions: 1e9, TotalBytes: 1e9}
+	p := ProfileFromResult(spec, res, ProfileOpts{Accesses: 100, RandomAccesses: 5})
+	if p.SignificantRandomAccesses {
+		t.Error("5% random should not be significant")
+	}
+	p = ProfileFromResult(spec, res, ProfileOpts{Accesses: 100, RandomAccesses: 50})
+	if !p.SignificantRandomAccesses {
+		t.Error("50% random should be significant")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Placement: memsim.Replicated, Compressed: true}
+	if got := c.String(); got != "replicated + compression" {
+		t.Errorf("String() = %q", got)
+	}
+}

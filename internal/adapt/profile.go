@@ -1,0 +1,78 @@
+package adapt
+
+import (
+	"smartarrays/internal/machine"
+	"smartarrays/internal/perfmodel"
+)
+
+// ProfileOpts carries the workload facts that accompany a measurement when
+// building a Profile (§6's array specification plus counter-derived
+// totals).
+type ProfileOpts struct {
+	// Accesses is the total element accesses during the measured run;
+	// RandomAccesses the subset that were random gathers.
+	Accesses       float64
+	RandomAccesses float64
+	// CompressedBits is the width bit compression would use (the minimum
+	// bits for the array's values); UncompressedBits the current width
+	// (64, or 32 for int arrays).
+	CompressedBits   uint
+	UncompressedBits uint
+	// SpaceUncompressedRepl / SpaceCompressedRepl report whether replicas
+	// fit in each socket's remaining DRAM (from memsim.Memory.CanAlloc).
+	SpaceUncompressedRepl bool
+	SpaceCompressedRepl   bool
+}
+
+// SignificantRandomFraction is the share of random accesses above which
+// the workload counts as having "significant random accesses" (Figure 13).
+const SignificantRandomFraction = 0.10
+
+// ProfileFromResult derives the §6 profile from the outcome of the initial
+// measurement run (uncompressed, interleaved — the paper's flexible
+// starting configuration) on the given machine.
+func ProfileFromResult(spec *machine.Spec, res perfmodel.Result, opts ProfileOpts) *Profile {
+	n := float64(spec.Sockets)
+	secs := res.Seconds
+	if secs <= 0 {
+		secs = 1e-12
+	}
+	uncompBits := opts.UncompressedBits
+	if uncompBits == 0 {
+		uncompBits = 64
+	}
+	ratio := 1.0
+	if opts.CompressedBits > 0 {
+		ratio = float64(opts.CompressedBits) / float64(uncompBits)
+	}
+	randomFrac := 0.0
+	if opts.Accesses > 0 {
+		randomFrac = opts.RandomAccesses / opts.Accesses
+	}
+	compCost := 0.0
+	if opts.CompressedBits > 0 {
+		compCost = perfmodel.CostScan(opts.CompressedBits) - perfmodel.CostScan(uncompBits)
+		if compCost < 0 {
+			compCost = 0
+		}
+	}
+	return &Profile{
+		MemoryBound:               res.Bottleneck != perfmodel.BottleneckCompute,
+		SignificantRandomAccesses: randomFrac > SignificantRandomFraction,
+
+		ExecCurrent: res.Instructions / n / secs,
+		ExecMax:     spec.ExecRate(),
+
+		BWCurrentMemory:   res.TotalBytes / n / secs,
+		BWMaxMemory:       spec.LocalBWGBs * machine.GB,
+		BWMaxInterconnect: spec.RemoteBWGBs * machine.GB,
+
+		AccessesPerSec:          opts.Accesses / n / secs,
+		CostPerCompressedAccess: compCost,
+		CompressionRatio:        ratio,
+		ElemBytes:               float64(uncompBits) / 8,
+
+		SpaceForUncompressedReplication: opts.SpaceUncompressedRepl,
+		SpaceForCompressedReplication:   opts.SpaceCompressedRepl,
+	}
+}

@@ -1,0 +1,56 @@
+package analytics
+
+import (
+	"fmt"
+
+	"smartarrays/internal/core"
+	"smartarrays/internal/graph"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/perfmodel"
+	"smartarrays/internal/rts"
+)
+
+// DegreeCentrality computes, for every vertex, the sum of its out- and
+// in-degrees (paper §5.2): two consecutive reads from begin and rbegin are
+// subtracted and the sum is stored in the output array, which — as in all
+// the paper's experiments — is interleaved regardless of the graph's
+// placement.
+//
+// The returned workload covers one full pass: streaming begin and rbegin
+// plus writing the 64-bit output.
+func DegreeCentrality(rt *rts.Runtime, g *graph.SmartCSR) (*core.SmartArray, perfmodel.Workload, error) {
+	out, err := core.Allocate(rt.Memory(), core.Config{
+		Length:    g.NumVertices,
+		Bits:      64,
+		Placement: memsim.Interleaved,
+	})
+	if err != nil {
+		return nil, perfmodel.Workload{}, fmt.Errorf("analytics: degree output: %w", err)
+	}
+
+	rt.ParallelFor(0, g.NumVertices, 0, func(w *rts.Worker, lo, hi uint64) {
+		beginRep := g.Begin.GetReplica(w.Socket)
+		rbeginRep := g.RBegin.GetReplica(w.Socket)
+		// Scan both begin arrays over [lo, hi+1): consecutive differences.
+		prevB := g.Begin.Get(beginRep, lo)
+		prevR := g.RBegin.Get(rbeginRep, lo)
+		for v := lo; v < hi; v++ {
+			nextB := g.Begin.Get(beginRep, v+1)
+			nextR := g.RBegin.Get(rbeginRep, v+1)
+			out.Init(w.Socket, v, (nextB-prevB)+(nextR-prevR))
+			prevB, prevR = nextB, nextR
+		}
+	})
+
+	beginBits := g.Begin.Bits()
+	perVertexInstr := 2*perfmodel.CostScan(beginBits) + perfmodel.CostInitU64 + 2
+	work := perfmodel.Workload{
+		Instructions: float64(g.NumVertices) * perVertexInstr,
+		Streams: []perfmodel.Stream{
+			scanStream(g.Begin, 1),
+			scanStream(g.RBegin, 1),
+			writeStream(out, 1),
+		},
+	}
+	return out, work, nil
+}

@@ -1,0 +1,200 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"smartarrays/internal/core"
+	"smartarrays/internal/graph"
+	"smartarrays/internal/perfmodel"
+	"smartarrays/internal/rts"
+)
+
+// PageRankConfig parameterizes PageRank as the paper runs it (§5.2):
+// damping 0.85, convergence when the L1 rank difference drops below 1e-3.
+type PageRankConfig struct {
+	// Damping is the damping factor d (paper: 0.85).
+	Damping float64
+	// Tol is the convergence threshold on the sum of absolute rank
+	// differences between iterations (paper: 1e-3).
+	Tol float64
+	// MaxIters bounds the iteration count.
+	MaxIters int
+	// DegreeBits is the width of the out-degrees vertex property array:
+	// 64 for the paper's "U"/"32" variants, 22 for "V"/"V+E".
+	DegreeBits uint
+}
+
+// DefaultPageRankConfig returns the paper's parameters.
+func DefaultPageRankConfig() PageRankConfig {
+	return PageRankConfig{Damping: 0.85, Tol: 1e-3, MaxIters: 100, DegreeBits: 64}
+}
+
+// PageRank runs pull-based PageRank over the smart-array graph: for each
+// vertex it loops over the reverse edges, gathering the neighbours' ranks
+// and out-degrees (paper §5.2). Ranks are double-precision values stored
+// bit-cast in 64-bit smart arrays; the out-degree property is a smart
+// array at cfg.DegreeBits. Both property arrays inherit the graph's
+// placement, as the paper's placement variations "apply to all arrays
+// except for the output array".
+//
+// It returns the converged ranks, the iteration count, and a workload
+// descriptor covering the whole run (all iterations).
+func PageRank(rt *rts.Runtime, g *graph.SmartCSR, cfg PageRankConfig) ([]float64, int, perfmodel.Workload, error) {
+	if cfg.Damping <= 0 || cfg.Damping >= 1 {
+		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: damping %v out of (0,1)", cfg.Damping)
+	}
+	if cfg.MaxIters <= 0 || cfg.Tol <= 0 {
+		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: bad iteration bounds (MaxIters=%d, Tol=%v)", cfg.MaxIters, cfg.Tol)
+	}
+	degBits := cfg.DegreeBits
+	if degBits == 0 {
+		degBits = 64
+	}
+	n := g.NumVertices
+	layout := g.Layout()
+
+	alloc := func(length uint64, bits uint) (*core.SmartArray, error) {
+		return core.Allocate(rt.Memory(), core.Config{
+			Length: length, Bits: bits,
+			Placement: layout.Placement, Socket: layout.Socket,
+		})
+	}
+	outDeg, err := alloc(n, degBits)
+	if err != nil {
+		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: out-degree property: %w", err)
+	}
+	defer outDeg.Free()
+	ranks, err := alloc(n, 64)
+	if err != nil {
+		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: ranks: %w", err)
+	}
+	defer ranks.Free()
+	next, err := alloc(n, 64)
+	if err != nil {
+		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: next ranks: %w", err)
+	}
+	defer next.Free()
+
+	// Initialize properties: out-degrees from begin, uniform initial ranks.
+	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+		beginRep := g.Begin.GetReplica(w.Socket)
+		init := math.Float64bits(1 / float64(n))
+		for v := lo; v < hi; v++ {
+			outDeg.Init(w.Socket, v, g.Begin.Get(beginRep, v+1)-g.Begin.Get(beginRep, v))
+			ranks.Init(w.Socket, v, init)
+		}
+	})
+
+	base := (1 - cfg.Damping) / float64(n)
+	var mu sync.Mutex
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		var totalDiff float64
+		rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+			rbeginRep := g.RBegin.GetReplica(w.Socket)
+			redgeRep := g.REdge.GetReplica(w.Socket)
+			ranksRep := ranks.GetReplica(w.Socket)
+			degRep := outDeg.GetReplica(w.Socket)
+			var localDiff float64
+			ePrev := g.RBegin.Get(rbeginRep, lo)
+			for v := lo; v < hi; v++ {
+				eEnd := g.RBegin.Get(rbeginRep, v+1)
+				var sum float64
+				for e := ePrev; e < eEnd; e++ {
+					u := g.REdge.Get(redgeRep, e)
+					deg := outDeg.Get(degRep, u)
+					if deg > 0 {
+						sum += math.Float64frombits(ranks.Get(ranksRep, u)) / float64(deg)
+					}
+				}
+				ePrev = eEnd
+				newRank := base + cfg.Damping*sum
+				localDiff += math.Abs(newRank - math.Float64frombits(ranks.Get(ranksRep, v)))
+				next.Init(w.Socket, v, math.Float64bits(newRank))
+			}
+			mu.Lock()
+			totalDiff += localDiff
+			mu.Unlock()
+		})
+		ranks, next = next, ranks
+		iters++
+		if totalDiff < cfg.Tol {
+			break
+		}
+	}
+
+	out := make([]float64, n)
+	rep := ranks.GetReplica(0)
+	for v := uint64(0); v < n; v++ {
+		out[v] = math.Float64frombits(ranks.Get(rep, v))
+	}
+
+	work := pageRankWorkload(rt, g, outDeg, ranks, next, iters)
+	return out, iters, work, nil
+}
+
+// pageRankWorkload builds the model descriptor for `iters` PageRank
+// iterations: per iteration the algorithm streams rbegin and redge once,
+// gathers ranks and out-degrees once per edge (semi-random, power-law
+// locality), reads the old rank per vertex, and writes the next-rank array.
+func pageRankWorkload(rt *rts.Runtime, g *graph.SmartCSR, outDeg, ranks, next *core.SmartArray, iters int) perfmodel.Workload {
+	llc := rt.Spec().LLCMB * 1e6
+	it := float64(iters)
+	e := float64(g.NumEdges)
+	v := float64(g.NumVertices)
+
+	perEdge := perfmodel.CostScan(g.REdge.Bits()) + // stream the edge
+		perfmodel.CostGet(64) + perfmodel.CostGet(outDeg.Bits()) + // two gathers
+		4 // divide and accumulate
+	perVertex := perfmodel.CostScan(g.RBegin.Bits()) + perfmodel.CostInit(64) + 6
+
+	// As in PageRankWorkloadFor: the out-degree gather hits the same hot
+	// vertices as the rank gather, so only its instruction cost is
+	// charged; its lines co-reside in cache with the rank lines.
+	_ = outDeg
+	return perfmodel.Workload{
+		Instructions: it * (e*perEdge + v*perVertex),
+		Streams: []perfmodel.Stream{
+			scanStream(g.RBegin, it),
+			scanStream(g.REdge, it),
+			randomStream(ranks, it*e, llc, perfmodel.PowerLawLocalityBoost),
+			scanStream(ranks, it), // old rank read for the diff
+			writeStream(next, it),
+		},
+	}
+}
+
+// PageRankRef is the sequential reference implementation over a plain CSR,
+// used by tests and by the "original" (no smart arrays) variant of the
+// paper's Figure 12.
+func PageRankRef(g *graph.CSR, cfg PageRankConfig) ([]float64, int) {
+	n := g.NumVertices
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	for v := range ranks {
+		ranks[v] = 1 / float64(n)
+	}
+	base := (1 - cfg.Damping) / float64(n)
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		var diff float64
+		for v := uint64(0); v < n; v++ {
+			var sum float64
+			for _, u := range g.InNeighbors(uint32(v)) {
+				if d := g.OutDegree(u); d > 0 {
+					sum += ranks[u] / float64(d)
+				}
+			}
+			next[v] = base + cfg.Damping*sum
+			diff += math.Abs(next[v] - ranks[v])
+		}
+		ranks, next = next, ranks
+		iters++
+		if diff < cfg.Tol {
+			break
+		}
+	}
+	return ranks, iters
+}

@@ -1,0 +1,108 @@
+package analytics
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartarrays/internal/graph"
+	"smartarrays/internal/memsim"
+)
+
+func TestSSSPMatchesReference(t *testing.T) {
+	rt := newRT()
+	g, err := graph.GenerateUniform(400, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	weights := make([]uint64, g.NumEdges)
+	for i := range weights {
+		weights[i] = uint64(rng.Intn(100)) + 1
+	}
+	want := SSSPRef(g, weights, 0)
+
+	for _, layout := range []graph.Layout{
+		{},
+		{Placement: memsim.Replicated, CompressEdge: true},
+	} {
+		s := smartGraph(t, rt, g, layout)
+		wArr, err := BuildWeights(rt, s, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rounds, err := SSSP(rt, s, wArr, SSSPConfig{Source: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds == 0 {
+			t.Error("zero rounds")
+		}
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("layout %+v: dist[%d] = %d, want %d", layout, v, got[v], want[v])
+			}
+		}
+		wArr.Free()
+	}
+}
+
+func TestSSSPKnownGraph(t *testing.T) {
+	rt := newRT()
+	// 0 -1-> 1 -1-> 2; 0 -5-> 2: shortest to 2 is 2 via 1.
+	g, err := graph.Build(4, []graph.Edge32{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smartGraph(t, rt, g, graph.Layout{})
+	// Edge order after CSR build: (0->1), (0->2), (1->2).
+	w, err := BuildWeights(rt, s, []uint64{1, 5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Free()
+	dist, _, err := SSSP(rt, s, w, SSSPConfig{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 0 || dist[1] != 1 || dist[2] != 2 {
+		t.Errorf("dist = %v, want [0 1 2 ...]", dist[:3])
+	}
+	if dist[3] != Unreachable {
+		t.Errorf("dist[3] = %d, want Unreachable", dist[3])
+	}
+}
+
+func TestSSSPValidation(t *testing.T) {
+	rt := newRT()
+	g, _ := graph.GenerateRing(8)
+	s := smartGraph(t, rt, g, graph.Layout{})
+	w, err := BuildWeights(rt, s, make([]uint64, g.NumEdges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Free()
+	if _, _, err := SSSP(rt, s, w, SSSPConfig{Source: 99}); err == nil {
+		t.Error("bad source should fail")
+	}
+	if _, err := BuildWeights(rt, s, make([]uint64, 3)); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+}
+
+func TestBuildWeightsMinBits(t *testing.T) {
+	rt := newRT()
+	g, _ := graph.GenerateRing(8)
+	s := smartGraph(t, rt, g, graph.Layout{})
+	weights := make([]uint64, g.NumEdges)
+	for i := range weights {
+		weights[i] = 100
+	}
+	w, err := BuildWeights(rt, s, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Free()
+	if w.Bits() != 7 {
+		t.Errorf("weight bits = %d, want 7", w.Bits())
+	}
+}

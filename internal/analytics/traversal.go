@@ -1,0 +1,199 @@
+package analytics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smartarrays/internal/graph"
+	"smartarrays/internal/perfmodel"
+	"smartarrays/internal/rts"
+)
+
+// BFS runs a level-synchronous breadth-first search over the smart-array
+// graph's forward edges from src, returning per-vertex levels (-1 for
+// unreachable vertices), the number of levels, and a workload descriptor.
+func BFS(rt *rts.Runtime, g *graph.SmartCSR, src uint64) ([]int64, int, perfmodel.Workload, error) {
+	if src >= g.NumVertices {
+		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: source %d out of range [0,%d)", src, g.NumVertices)
+	}
+	n := g.NumVertices
+	levels := make([]int64, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+
+	frontier := []uint64{src}
+	level := int64(0)
+	var edgesTouched uint64
+	var mu sync.Mutex
+
+	for len(frontier) > 0 {
+		var next []uint64
+		rt.ParallelFor(0, uint64(len(frontier)), 64, func(w *rts.Worker, lo, hi uint64) {
+			beginRep := g.Begin.GetReplica(w.Socket)
+			edgeRep := g.Edge.GetReplica(w.Socket)
+			var local []uint64
+			var touched uint64
+			for fi := lo; fi < hi; fi++ {
+				v := frontier[fi]
+				eLo := g.Begin.Get(beginRep, v)
+				eHi := g.Begin.Get(beginRep, v+1)
+				touched += eHi - eLo
+				for e := eLo; e < eHi; e++ {
+					d := g.Edge.Get(edgeRep, e)
+					// Claim the vertex exactly once.
+					if atomic.CompareAndSwapInt64(&levels[d], -1, level+1) {
+						local = append(local, d)
+					}
+				}
+			}
+			mu.Lock()
+			next = append(next, local...)
+			atomic.AddUint64(&edgesTouched, touched)
+			mu.Unlock()
+		})
+		frontier = next
+		level++
+	}
+
+	e := float64(edgesTouched)
+	v := float64(n)
+	work := perfmodel.Workload{
+		// Every edge is inspected once over the whole traversal; the begin
+		// array is gathered per frontier vertex.
+		Instructions: e*(perfmodel.CostScan(g.Edge.Bits())+4) + v*(perfmodel.CostGet(g.Begin.Bits())+4),
+		Streams: []perfmodel.Stream{
+			scanStream(g.Edge, 1),
+			scanStream(g.Begin, 1),
+			interleavedWrite(v * 8), // the levels output
+		},
+	}
+	return levels, int(level), work, nil
+}
+
+// WCC computes weakly-connected components by label propagation over both
+// edge directions, returning per-vertex component labels (the smallest
+// vertex ID in the component) and the number of propagation rounds.
+func WCC(rt *rts.Runtime, g *graph.SmartCSR) ([]uint64, int, error) {
+	n := g.NumVertices
+	labels := make([]uint64, n)
+	for i := range labels {
+		labels[i] = uint64(i)
+	}
+	rounds := 0
+	for {
+		var changed atomic.Bool
+		rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+			beginRep := g.Begin.GetReplica(w.Socket)
+			edgeRep := g.Edge.GetReplica(w.Socket)
+			rbeginRep := g.RBegin.GetReplica(w.Socket)
+			redgeRep := g.REdge.GetReplica(w.Socket)
+			for v := lo; v < hi; v++ {
+				min := atomic.LoadUint64(&labels[v])
+				for e := g.Begin.Get(beginRep, v); e < g.Begin.Get(beginRep, v+1); e++ {
+					if l := atomic.LoadUint64(&labels[g.Edge.Get(edgeRep, e)]); l < min {
+						min = l
+					}
+				}
+				for e := g.RBegin.Get(rbeginRep, v); e < g.RBegin.Get(rbeginRep, v+1); e++ {
+					if l := atomic.LoadUint64(&labels[g.REdge.Get(redgeRep, e)]); l < min {
+						min = l
+					}
+				}
+				if min < atomic.LoadUint64(&labels[v]) {
+					atomic.StoreUint64(&labels[v], min)
+					changed.Store(true)
+				}
+			}
+		})
+		rounds++
+		if !changed.Load() {
+			break
+		}
+	}
+	return labels, rounds, nil
+}
+
+// TriangleCount counts undirected triangles, treating each directed edge
+// as undirected. It intersects sorted neighbour lists via the smart edge
+// array, counting each triangle once (ordered u < v < w over the
+// undirected adjacency).
+func TriangleCount(rt *rts.Runtime, g *graph.SmartCSR) uint64 {
+	n := g.NumVertices
+	// Materialize the undirected adjacency (deduplicated, sorted, only
+	// higher-numbered neighbours) from the smart arrays.
+	adj := make([][]uint32, n)
+	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+		beginRep := g.Begin.GetReplica(w.Socket)
+		edgeRep := g.Edge.GetReplica(w.Socket)
+		rbeginRep := g.RBegin.GetReplica(w.Socket)
+		redgeRep := g.REdge.GetReplica(w.Socket)
+		for v := lo; v < hi; v++ {
+			var ns []uint32
+			for e := g.Begin.Get(beginRep, v); e < g.Begin.Get(beginRep, v+1); e++ {
+				if d := uint32(g.Edge.Get(edgeRep, e)); uint64(d) > v {
+					ns = append(ns, d)
+				}
+			}
+			for e := g.RBegin.Get(rbeginRep, v); e < g.RBegin.Get(rbeginRep, v+1); e++ {
+				if s := uint32(g.REdge.Get(redgeRep, e)); uint64(s) > v {
+					ns = append(ns, s)
+				}
+			}
+			adj[v] = sortedUnique(ns)
+		}
+	})
+
+	var total atomic.Uint64
+	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+		var count uint64
+		for v := lo; v < hi; v++ {
+			ns := adj[v]
+			for i, u := range ns {
+				// Triangles v < u < t with t adjacent to both.
+				count += intersectCount(ns[i+1:], adj[u])
+			}
+		}
+		total.Add(count)
+	})
+	return total.Load()
+}
+
+func sortedUnique(ns []uint32) []uint32 {
+	if len(ns) < 2 {
+		return ns
+	}
+	// Insertion sort: neighbour lists are short and nearly sorted.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j-1] > ns[j]; j-- {
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+		}
+	}
+	out := ns[:1]
+	for _, x := range ns[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersectCount(a, b []uint32) uint64 {
+	var count uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}

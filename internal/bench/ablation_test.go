@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationStallFactorOpensGap(t *testing.T) {
+	sec := RunAblationStall()
+	if len(sec.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(sec.Rows))
+	}
+	// With stall 1.0 the interleaved/replicated gap must vanish; with the
+	// calibrated 1.25 it must exist.
+	if !strings.Contains(sec.Rows[0].Value, "gap 0%") {
+		t.Errorf("stall=1.0 should collapse the gap: %s", sec.Rows[0].Value)
+	}
+	if strings.Contains(sec.Rows[1].Value, "gap 0%") {
+		t.Errorf("stall=1.25 should open a gap: %s", sec.Rows[1].Value)
+	}
+}
+
+func TestAblationLocalityBoostMonotone(t *testing.T) {
+	sec := RunAblationLocalityBoost()
+	if len(sec.Rows) != 4 {
+		t.Fatalf("rows = %d", len(sec.Rows))
+	}
+	// Higher boost -> more cache hits -> less DRAM traffic -> faster.
+	var prev float64 = 1e18
+	for _, r := range sec.Rows {
+		var secs float64
+		if _, err := parseSeconds(r.Value, &secs); err != nil {
+			t.Fatalf("unparseable row %q: %v", r.Value, err)
+		}
+		if secs > prev {
+			t.Errorf("time not monotone in boost: %q", r.Value)
+		}
+		prev = secs
+	}
+}
+
+func parseSeconds(s string, out *float64) (int, error) {
+	var gbps float64
+	return fmt.Sscanf(s, "%f s (%f GB/s)", out, &gbps)
+}
+
+func TestAblationUnpackBeatsPerElementGet(t *testing.T) {
+	sec := RunAblationUnpack()
+	if len(sec.Rows) != 3 {
+		t.Fatalf("rows = %d", len(sec.Rows))
+	}
+	var get, iter float64
+	if _, err := fmt.Sscanf(sec.Rows[0].Value, "%f ns/elem", &get); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(sec.Rows[1].Value, "%f ns/elem", &iter); err != nil {
+		t.Fatal(err)
+	}
+	// The chunked iterator must not be slower than per-element gets by
+	// more than noise (it usually wins; CI hosts are noisy).
+	if iter > get*1.5 {
+		t.Errorf("chunked iterator (%.2f) much slower than per-element get (%.2f)", iter, get)
+	}
+}
+
+func TestAblationRandomizationSpreads(t *testing.T) {
+	sec := RunAblationRandomization()
+	if !strings.Contains(sec.Rows[0].Value, "1 socket") {
+		t.Errorf("plain indexing row: %s", sec.Rows[0].Value)
+	}
+	if !strings.Contains(sec.Rows[1].Value, "2 socket") {
+		t.Errorf("randomized indexing row: %s", sec.Rows[1].Value)
+	}
+}
+
+func TestAblationGrainRuns(t *testing.T) {
+	sec := RunAblationGrain()
+	if len(sec.Rows) != 5 {
+		t.Fatalf("rows = %d", len(sec.Rows))
+	}
+}
+
+func TestPrintAblations(t *testing.T) {
+	var buf bytes.Buffer
+	PrintAblations(&buf, RunAblations())
+	for _, want := range []string{"remote-stall", "locality boost", "batch grain", "scan strategy", "randomization"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationAutoNUMAConverges(t *testing.T) {
+	sec := RunAblationAutoNUMA()
+	if len(sec.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(sec.Rows))
+	}
+	var times [4]float64
+	var migrations [4]int
+	for i := 0; i < 4; i++ {
+		if _, err := fmt.Sscanf(sec.Rows[i].Value, "%f us modeled, %d pages migrated after",
+			&times[i], &migrations[i]); err != nil {
+			t.Fatalf("unparseable row %q: %v", sec.Rows[i].Value, err)
+		}
+	}
+	// The paper's point: the first iteration pays for the bad first-touch
+	// placement; migration then converges and stays stable.
+	if migrations[0] == 0 {
+		t.Error("first balance migrated nothing")
+	}
+	if times[1] >= times[0] {
+		t.Errorf("no improvement after migration: %.2f -> %.2f us", times[0], times[1])
+	}
+	for i := 1; i < 4; i++ {
+		if migrations[i] != 0 {
+			t.Errorf("iteration %d migrated %d pages after convergence", i+1, migrations[i])
+		}
+		if times[i] != times[1] {
+			t.Errorf("time not stable after convergence: %v", times)
+		}
+	}
+	if !strings.Contains(sec.Rows[5].Value, "x the interleaved time") {
+		t.Errorf("cold-start row malformed: %q", sec.Rows[5].Value)
+	}
+}

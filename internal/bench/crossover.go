@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/perfmodel"
+)
+
+// Crossover experiments: the paper's two machines sit on opposite sides of
+// two qualitative boundaries — interleaving vs single socket (decided by
+// interconnect bandwidth) and compression vs none (decided by spare
+// compute). These sweeps locate the boundaries explicitly by varying one
+// machine parameter at a time, which is exactly the "where do the
+// crossovers fall" question the figures answer by example.
+
+// CrossoverPoint reports a located boundary.
+type CrossoverPoint struct {
+	// Parameter names the swept machine parameter.
+	Parameter string
+	// Value is the parameter value where the decision flips.
+	Value float64
+	// Below and Above name the winning configuration on each side.
+	Below, Above string
+}
+
+// FindInterleaveCrossover sweeps the interconnect bandwidth of an
+// otherwise 8-core-like machine and returns the link bandwidth above
+// which interleaved placement beats single socket for the uncompressed
+// aggregation. The paper's machines bracket it: 8 GB/s (single socket
+// wins) and 26.8 GB/s (interleaving wins).
+func FindInterleaveCrossover() CrossoverPoint {
+	flip := searchFlip(1, 40, func(remote float64) bool {
+		spec := machine.X52Small()
+		spec.RemoteBWGBs = remote
+		inter := perfmodel.Solve(spec, AggregationWorkload(AggConfig{
+			Machine: spec, Bits: 64, Placement: memsim.Interleaved}, PaperAggElements))
+		single := perfmodel.Solve(spec, AggregationWorkload(AggConfig{
+			Machine: spec, Bits: 64, Placement: memsim.SingleSocket}, PaperAggElements))
+		return inter.Seconds < single.Seconds
+	})
+	return CrossoverPoint{
+		Parameter: "interconnect bandwidth (GB/s)",
+		Value:     flip,
+		Below:     "single socket",
+		Above:     "interleaved",
+	}
+}
+
+// FindCompressionCrossover sweeps per-socket core count (compute
+// capacity) on an 18-core-like machine and returns the core count above
+// which 33-bit compression beats uncompressed storage for the replicated
+// aggregation. The paper's machines bracket this too: 8 cores/socket
+// (compression hurts) and 18 (compression wins).
+func FindCompressionCrossover() CrossoverPoint {
+	flip := searchFlipInt(2, 40, func(cores int) bool {
+		spec := machine.X52Large()
+		spec.CoresPerSocket = cores
+		comp := perfmodel.Solve(spec, AggregationWorkload(AggConfig{
+			Machine: spec, Bits: 33, Placement: memsim.Replicated}, PaperAggElements))
+		unc := perfmodel.Solve(spec, AggregationWorkload(AggConfig{
+			Machine: spec, Bits: 64, Placement: memsim.Replicated}, PaperAggElements))
+		return comp.Seconds < unc.Seconds
+	})
+	return CrossoverPoint{
+		Parameter: "cores per socket",
+		Value:     flip,
+		Below:     "uncompressed",
+		Above:     "33-bit compressed",
+	}
+}
+
+// searchFlip binary-searches the smallest parameter value in [lo, hi]
+// where pred becomes true (pred must be monotone in the parameter).
+func searchFlip(lo, hi float64, pred func(float64) bool) float64 {
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// searchFlipInt is searchFlip over integers.
+func searchFlipInt(lo, hi int, pred func(int) bool) float64 {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return float64(lo)
+}
+
+// RunCrossovers locates both boundaries.
+func RunCrossovers() []CrossoverPoint {
+	return []CrossoverPoint{FindInterleaveCrossover(), FindCompressionCrossover()}
+}
+
+// PrintCrossovers writes the located boundaries with the paper's bracket.
+func PrintCrossovers(w io.Writer, points []CrossoverPoint) {
+	fmt.Fprintln(w, "Crossover boundaries (aggregation workload)")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %s: %s below %.1f, %s above\n", p.Parameter, p.Below, p.Value, p.Above)
+	}
+	fmt.Fprintln(w, "  paper brackets: QPI 8 GB/s vs 26.8 GB/s; 8 vs 18 cores/socket")
+}

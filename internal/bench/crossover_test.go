@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInterleaveCrossoverBracketedByPaperMachines(t *testing.T) {
+	p := FindInterleaveCrossover()
+	// The two Table 1 machines must sit on opposite sides: single socket
+	// wins at 8 GB/s (small machine), interleaving at 26.8 GB/s (large
+	// machine's class of interconnect, applied to the small topology).
+	if p.Value <= 8 {
+		t.Errorf("crossover at %.1f GB/s: the 8 GB/s QPI machine should prefer single socket", p.Value)
+	}
+	if p.Value >= 26.8 {
+		t.Errorf("crossover at %.1f GB/s: a 26.8 GB/s interconnect should prefer interleaving", p.Value)
+	}
+}
+
+func TestCompressionCrossoverBracketedByPaperMachines(t *testing.T) {
+	p := FindCompressionCrossover()
+	// 8 cores/socket: compression hurts; 18: it wins.
+	if p.Value <= 8 {
+		t.Errorf("crossover at %.0f cores: 8-core sockets should not benefit from compression", p.Value)
+	}
+	if p.Value > 18 {
+		t.Errorf("crossover at %.0f cores: 18-core sockets should benefit from compression", p.Value)
+	}
+}
+
+func TestPrintCrossovers(t *testing.T) {
+	var buf bytes.Buffer
+	PrintCrossovers(&buf, RunCrossovers())
+	out := buf.String()
+	for _, want := range []string{"interconnect bandwidth", "cores per socket", "paper brackets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crossover output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV export of experiment rows, for plotting the figures with external
+// tooling. Columns mirror the printed tables.
+
+// WriteAggCSV writes aggregation rows (Figures 2/10).
+func WriteAggCSV(w io.Writer, rows []AggResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"machine", "lang", "placement", "bits", "time_ms", "mem_bw_gbs", "instructions_g", "bottleneck", "verified",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Machine.Name, r.Lang.String(), r.PlacementLabel,
+			fmt.Sprint(r.Bits),
+			fmt.Sprintf("%.3f", r.TimeMs),
+			fmt.Sprintf("%.3f", r.BandwidthGBs),
+			fmt.Sprintf("%.3f", r.InstructionsG),
+			r.Bottleneck,
+			fmt.Sprint(r.Verified),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGraphCSV writes graph rows (Figures 11/12).
+func WriteGraphCSV(w io.Writer, rows []GraphResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"machine", "variant", "placement", "time_ms", "mem_bw_gbs", "instructions_g", "memory_bytes", "bottleneck", "verified",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Machine, r.Compression, r.Label,
+			fmt.Sprintf("%.3f", r.TimeMs),
+			fmt.Sprintf("%.3f", r.BandwidthGBs),
+			fmt.Sprintf("%.3f", r.InstructionsG),
+			fmt.Sprint(r.MemoryBytes),
+			r.Bottleneck,
+			fmt.Sprint(r.Verified),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteInteropCSV writes Figure 3 rows.
+func WriteInteropCSV(w io.Writer, rows []InteropResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"path", "ns_per_elem", "relative_to_cpp", "boundary_crossings", "interoperable", "smart_functionality",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Path,
+			fmt.Sprintf("%.3f", r.NsPerElem),
+			fmt.Sprintf("%.3f", r.RelativeToCPP),
+			fmt.Sprint(r.BoundaryCrossings),
+			fmt.Sprint(r.Interoperable),
+			fmt.Sprint(r.SmartFunctionality),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+)
+
+func TestWriteAggCSV(t *testing.T) {
+	rows, err := RunFigure2(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAggCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(rows)+1 {
+		t.Errorf("records = %d, want %d", len(records), len(rows)+1)
+	}
+	if records[0][0] != "machine" || records[0][4] != "time_ms" {
+		t.Errorf("header = %v", records[0])
+	}
+	for _, rec := range records {
+		if len(rec) != 9 {
+			t.Fatalf("row width = %d, want 9: %v", len(rec), rec)
+		}
+	}
+}
+
+func TestWriteGraphCSV(t *testing.T) {
+	orig, repl, err := RunFigure1(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraphCSV(&buf, []GraphResult{orig, repl}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Errorf("records = %d, want 3", len(records))
+	}
+}
+
+func TestWriteInteropCSV(t *testing.T) {
+	rows, err := RunFigure3(Options{Elements: 1 << 10, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteInteropCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 6 {
+		t.Errorf("records = %d, want 6", len(records))
+	}
+}

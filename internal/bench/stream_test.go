@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+func TestStreamKernelsVerifyAndModel(t *testing.T) {
+	rows, err := RunStream(Options{Elements: 1 << 12, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 machines x 3 placements x 4 kernels.
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(rows))
+	}
+	find := func(m string, k StreamKernel, p memsim.Placement) StreamResult {
+		for _, r := range rows {
+			if r.Machine == m && r.Kernel == k && r.Placement == p {
+				return r
+			}
+		}
+		t.Fatalf("row not found: %s %v %v", m, k, p)
+		return StreamResult{}
+	}
+	small := machine.X52Small().Name
+
+	for _, r := range rows {
+		if !r.Verified {
+			t.Fatalf("unverified: %+v", r)
+		}
+		if r.BandwidthGBs <= 0 {
+			t.Fatalf("no bandwidth: %+v", r)
+		}
+	}
+	// Table 2's "replication: only for read-only data" shows up in
+	// STREAM: every kernel writes a destination array, and replicated
+	// destinations must broadcast to every socket's replica across the
+	// interconnect — so replication LOSES to single socket here, the
+	// exact opposite of the read-only aggregation workload.
+	if find(small, StreamCopy, memsim.Replicated).TimeMs <= find(small, StreamCopy, memsim.SingleSocket).TimeMs {
+		t.Error("replicated Copy should pay for replica maintenance on 8-core")
+	}
+	// Triad moves more data than Copy at the same placement, so it cannot
+	// be faster.
+	if find(small, StreamTriad, memsim.Interleaved).TimeMs < find(small, StreamCopy, memsim.Interleaved).TimeMs {
+		t.Error("Triad faster than Copy")
+	}
+}
+
+func TestStreamKernelNames(t *testing.T) {
+	names := map[StreamKernel]string{
+		StreamCopy: "Copy", StreamScale: "Scale", StreamAdd: "Add", StreamTriad: "Triad",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestPrintStreamTable(t *testing.T) {
+	rows, err := RunStream(Options{Elements: 1 << 10, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintStreamTable(&buf, rows)
+	for _, want := range []string{"Copy", "Triad", "replicated", "GB/s"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stream table missing %q", want)
+		}
+	}
+}

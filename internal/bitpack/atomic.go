@@ -1,0 +1,47 @@
+package bitpack
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SetAtomic is the thread-safe variant of Set that the paper sketches in
+// §4.2 ("a thread-safe variant of the function can be implemented using
+// atomic compare-and-swap instructions"): each affected 64-bit word is
+// updated with a CAS loop, so concurrent writers to *different elements
+// that share a word* cannot lose each other's bits. Writers to the same
+// element still race (last CAS wins per word), as with any store.
+func (c Codec) SetAtomic(data []uint64, index uint64, value uint64) {
+	if !c.Fits(value) {
+		panic(fmt.Sprintf("bitpack: value %#x does not fit in %d bits", value, c.bits))
+	}
+	casUpdate := func(word uint64, clear, set uint64) {
+		addr := &data[word]
+		for {
+			old := atomic.LoadUint64(addr)
+			if atomic.CompareAndSwapUint64(addr, old, old&^clear|set) {
+				return
+			}
+		}
+	}
+	switch c.bits {
+	case 64:
+		atomic.StoreUint64(&data[index], value)
+		return
+	case 32:
+		shift := (index & 1) * 32
+		casUpdate(index>>1, c.mask<<shift, value<<shift)
+		return
+	}
+	bitsPer := uint64(c.bits)
+	chunk := index / ChunkSize
+	chunkStart := chunk * c.wordsPerChunk
+	bitInChunk := (index % ChunkSize) * bitsPer
+	bitInWord := bitInChunk % 64
+	word := chunkStart + bitInChunk/64
+	word2 := chunkStart + (bitInChunk+bitsPer)/64
+	casUpdate(word, c.mask<<bitInWord, value<<bitInWord)
+	if word != word2 && word2 < chunkStart+c.wordsPerChunk {
+		casUpdate(word2, c.mask>>(64-bitInWord), value>>(64-bitInWord))
+	}
+}

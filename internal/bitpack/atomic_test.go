@@ -1,0 +1,79 @@
+package bitpack
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetAtomicMatchesSet(t *testing.T) {
+	for _, b := range []uint{1, 10, 32, 33, 63, 64} {
+		c := MustNew(b)
+		const n = 2 * ChunkSize
+		d1 := make([]uint64, c.WordsFor(n))
+		d2 := make([]uint64, c.WordsFor(n))
+		for i := uint64(0); i < n; i++ {
+			v := (i * 2654435761) & c.Mask()
+			c.Set(d1, i, v)
+			c.SetAtomic(d2, i, v)
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("bits=%d: word %d differs: %#x vs %#x", b, i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+func TestSetAtomicConcurrentWritersShareWords(t *testing.T) {
+	// Elements at 33 bits straddle word boundaries, so neighbouring
+	// writers contend on shared words. Each goroutine owns a disjoint
+	// stripe of elements; the result must be exactly the sequential one.
+	c := MustNew(33)
+	const n = 8 * ChunkSize
+	const writers = 8
+	data := make([]uint64, c.WordsFor(n))
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(w); i < n; i += writers {
+				c.SetAtomic(data, i, i&c.Mask())
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := uint64(0); i < n; i++ {
+		if got := c.Get(data, i); got != i&c.Mask() {
+			t.Fatalf("elem %d = %d, want %d", i, got, i&c.Mask())
+		}
+	}
+}
+
+func TestSetAtomicPanicsOnOverflow(t *testing.T) {
+	c := MustNew(8)
+	data := make([]uint64, c.WordsFor(64))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SetAtomic(data, 0, 256)
+}
+
+func TestSetAtomicOverwriteClearsSlot(t *testing.T) {
+	c := MustNew(33)
+	data := make([]uint64, c.WordsFor(64))
+	c.SetAtomic(data, 1, c.Mask())
+	c.SetAtomic(data, 1, 0)
+	if got := c.Get(data, 1); got != 0 {
+		t.Errorf("after clear = %#x, want 0", got)
+	}
+	// Neighbours untouched.
+	c.SetAtomic(data, 0, 5)
+	c.SetAtomic(data, 2, 7)
+	c.SetAtomic(data, 1, 9)
+	if c.Get(data, 0) != 5 || c.Get(data, 2) != 7 || c.Get(data, 1) != 9 {
+		t.Error("atomic overwrite disturbed neighbours")
+	}
+}

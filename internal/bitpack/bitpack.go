@@ -1,0 +1,239 @@
+// Package bitpack implements the paper's bit compression scheme (§4.2).
+//
+// Bit compression stores unsigned integers using BITS ∈ [1,64] bits each,
+// packed consecutively across 64-bit words. Elements are logically grouped
+// into chunks of 64 numbers: a chunk of 64 elements at BITS bits occupies
+// exactly BITS 64-bit words, so chunk boundaries are always word-aligned
+// regardless of BITS. That alignment is what lets the same get/init/unpack
+// logic run unchanged for every width (paper §4.2).
+//
+// The three kernels mirror the paper's pseudo code:
+//
+//	Codec.Get    — Function 1 (BitCompressedArray::get)
+//	Codec.Set    — Function 2 (BitCompressedArray::init), single replica
+//	Codec.Unpack — Function 3 (BitCompressedArray::unpack)
+//
+// The paper specializes BITS = 32 and BITS = 64 into dedicated classes that
+// skip shifting and masking; here those specializations are fast paths
+// inside the same methods plus dedicated helpers used by the iterators.
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ChunkSize is the number of elements per logical chunk. With 64 elements
+// per chunk and b bits per element a chunk spans exactly b words, keeping
+// chunk starts word-aligned for every b in [1,64].
+const ChunkSize = 64
+
+// Codec packs and unpacks fixed-width unsigned integers. The zero value is
+// not usable; construct with New.
+type Codec struct {
+	bits          uint
+	mask          uint64
+	wordsPerChunk uint64
+}
+
+// New returns a codec for the given element width in bits.
+func New(bitsPerElem uint) (Codec, error) {
+	if bitsPerElem < 1 || bitsPerElem > 64 {
+		return Codec{}, fmt.Errorf("bitpack: bits must be in [1,64], got %d", bitsPerElem)
+	}
+	return Codec{
+		bits:          bitsPerElem,
+		mask:          maskFor(bitsPerElem),
+		wordsPerChunk: uint64(bitsPerElem),
+	}, nil
+}
+
+// MustNew is New but panics on an invalid width; for use with constants.
+func MustNew(bitsPerElem uint) Codec {
+	c, err := New(bitsPerElem)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func maskFor(b uint) uint64 {
+	if b == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << b) - 1
+}
+
+// Bits returns the element width in bits.
+func (c Codec) Bits() uint { return c.bits }
+
+// Mask returns the value mask (BITS low bits set).
+func (c Codec) Mask() uint64 { return c.mask }
+
+// MaxValue is the largest value representable at this width.
+func (c Codec) MaxValue() uint64 { return c.mask }
+
+// WordsPerChunk is the number of 64-bit words a 64-element chunk occupies.
+func (c Codec) WordsPerChunk() uint64 { return c.wordsPerChunk }
+
+// WordsFor returns the number of 64-bit words needed to store n elements,
+// rounding up to whole chunks as the paper's layout does.
+func (c Codec) WordsFor(n uint64) uint64 {
+	chunks := (n + ChunkSize - 1) / ChunkSize
+	return chunks * c.wordsPerChunk
+}
+
+// CompressedBytes is the storage footprint of n elements in bytes.
+func (c Codec) CompressedBytes(n uint64) uint64 { return c.WordsFor(n) * 8 }
+
+// Fits reports whether v is representable at this width.
+func (c Codec) Fits(v uint64) bool { return v&^c.mask == 0 }
+
+// Get extracts element index from the packed words. It is a direct
+// transcription of the paper's Function 1.
+func (c Codec) Get(data []uint64, index uint64) uint64 {
+	switch c.bits {
+	case 64:
+		return data[index]
+	case 32:
+		w := data[index>>1]
+		return (w >> ((index & 1) * 32)) & c.mask
+	}
+	bitsPer := uint64(c.bits)
+	chunk := index / ChunkSize                  // F1 line 1
+	chunkStart := chunk * c.wordsPerChunk       // F1 lines 2-3
+	bitInChunk := (index % ChunkSize) * bitsPer // F1 line 4
+	bitInWord := bitInChunk % 64                // F1 line 5
+	word := chunkStart + bitInChunk/64          // F1 line 6
+	if bitInWord+bitsPer <= 64 {                // F1 line 8
+		return (data[word] >> bitInWord) & c.mask // F1 line 9
+	}
+	// Element straddles two words.                  F1 lines 10-11
+	return ((data[word] >> bitInWord) | (data[word+1] << (64 - bitInWord))) & c.mask
+}
+
+// Set writes value at element index in the packed words. It transcribes the
+// paper's Function 2 for a single replica; callers with replicas loop over
+// them (as SmartArray.Init does). Set panics if value does not fit, making
+// width overflows loud during initialization rather than silently corrupting
+// neighbouring elements.
+func (c Codec) Set(data []uint64, index uint64, value uint64) {
+	if !c.Fits(value) {
+		panic(fmt.Sprintf("bitpack: value %#x does not fit in %d bits", value, c.bits))
+	}
+	switch c.bits {
+	case 64:
+		data[index] = value
+		return
+	case 32:
+		w := &data[index>>1]
+		shift := (index & 1) * 32
+		*w = *w&^(c.mask<<shift) | value<<shift
+		return
+	}
+	bitsPer := uint64(c.bits)
+	chunk := index / ChunkSize
+	chunkStart := chunk * c.wordsPerChunk
+	bitInChunk := (index % ChunkSize) * bitsPer
+	bitInWord := bitInChunk % 64
+	word := chunkStart + bitInChunk/64
+	word2 := chunkStart + (bitInChunk+bitsPer)/64 // F2 line 2
+	// F2 line 4: clear the slot then or in the low part of the value.
+	data[word] = data[word]&^(c.mask<<bitInWord) | value<<bitInWord
+	if word != word2 && word2 < chunkStart+c.wordsPerChunk { // F2 line 5
+		// F2 line 6: the spill-over part in the next word.
+		data[word2] = data[word2]&^(c.mask>>(64-bitInWord)) | value>>(64-bitInWord)
+	}
+}
+
+// Unpack decodes one whole chunk (64 elements) into out. It transcribes the
+// paper's Function 3, which exists because scans are the dominant operation
+// in analytics and amortizing the decode across a chunk removes per-element
+// branching.
+func (c Codec) Unpack(data []uint64, chunk uint64, out *[ChunkSize]uint64) {
+	switch c.bits {
+	case 64:
+		copy(out[:], data[chunk*ChunkSize:chunk*ChunkSize+ChunkSize])
+		return
+	case 32:
+		base := chunk * 32
+		for i := 0; i < 32; i++ {
+			w := data[base+uint64(i)]
+			out[2*i] = w & 0xFFFFFFFF
+			out[2*i+1] = w >> 32
+		}
+		return
+	}
+	bitsPer := uint64(c.bits)
+	chunkStart := chunk * c.wordsPerChunk // F3 line 1
+	word := chunkStart                    // F3 line 2
+	value := data[word]                   // F3 line 3
+	bitInWord := uint64(0)                // F3 line 4
+	for i := 0; i < ChunkSize; i++ {      // F3 line 5
+		switch {
+		case bitInWord+bitsPer < 64: // F3 line 6
+			out[i] = (value >> bitInWord) & c.mask
+			bitInWord += bitsPer
+		case bitInWord+bitsPer == 64: // F3 line 9
+			out[i] = (value >> bitInWord) & c.mask
+			bitInWord = 0
+			word++
+			if i < ChunkSize-1 {
+				value = data[word]
+			}
+		default: // F3 line 14: element crosses into the next word
+			nextWord := word + 1
+			nextValue := data[nextWord]
+			out[i] = c.mask & ((value >> bitInWord) | (nextValue << (64 - bitInWord)))
+			bitInWord = bitInWord + bitsPer - 64
+			word = nextWord
+			value = nextValue
+		}
+	}
+}
+
+// PackSlice compresses src into a freshly allocated packed buffer.
+func (c Codec) PackSlice(src []uint64) []uint64 {
+	data := make([]uint64, c.WordsFor(uint64(len(src))))
+	for i, v := range src {
+		c.Set(data, uint64(i), v)
+	}
+	return data
+}
+
+// UnpackSlice decompresses n elements from data into a new slice.
+func (c Codec) UnpackSlice(data []uint64, n uint64) []uint64 {
+	out := make([]uint64, n)
+	var buf [ChunkSize]uint64
+	chunks := n / ChunkSize
+	for ch := uint64(0); ch < chunks; ch++ {
+		c.Unpack(data, ch, &buf)
+		copy(out[ch*ChunkSize:], buf[:])
+	}
+	for i := chunks * ChunkSize; i < n; i++ {
+		out[i] = c.Get(data, i)
+	}
+	return out
+}
+
+// MinBits returns the minimum width able to represent maxValue, with a
+// floor of 1 bit (an all-zeros array still needs one bit per element).
+// This is the paper's rule: "the number of bits used per element is the
+// minimum number of bits required to store the largest element".
+func MinBits(maxValue uint64) uint {
+	if maxValue == 0 {
+		return 1
+	}
+	return uint(bits.Len64(maxValue))
+}
+
+// MinBitsFor scans values and returns the minimum width for the slice.
+func MinBitsFor(values []uint64) uint {
+	var max uint64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	return MinBits(max)
+}

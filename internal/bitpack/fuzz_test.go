@@ -1,0 +1,41 @@
+package bitpack
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRoundTrip packs fuzzer-chosen values at a fuzzer-chosen width and
+// verifies Get, Unpack, and UnpackSlice agree with the input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(33), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(uint8(1), []byte{255, 255})
+	f.Add(uint8(64), []byte{0})
+	f.Fuzz(func(t *testing.T, width uint8, raw []byte) {
+		bits := uint(width%64) + 1
+		c := MustNew(bits)
+		n := len(raw) / 8
+		if n == 0 {
+			return
+		}
+		if n > 200 {
+			n = 200
+		}
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = binary.LittleEndian.Uint64(raw[i*8:]) & c.Mask()
+		}
+		data := c.PackSlice(values)
+		for i, want := range values {
+			if got := c.Get(data, uint64(i)); got != want {
+				t.Fatalf("bits=%d: Get(%d) = %#x, want %#x", bits, i, got, want)
+			}
+		}
+		dec := c.UnpackSlice(data, uint64(n))
+		for i := range values {
+			if dec[i] != values[i] {
+				t.Fatalf("bits=%d: UnpackSlice[%d] mismatch", bits, i)
+			}
+		}
+	})
+}

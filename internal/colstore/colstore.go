@@ -1,0 +1,374 @@
+// Package colstore is a small in-memory column store built on smart
+// arrays — the database-analytics use case that motivates the paper's
+// aggregation workload (§5.1: "it can represent the summation of two
+// columns") and its bit-compression lineage (§4.2's column-store related
+// work).
+//
+// A Table is a set of named columns, each a bit-compressed smart array
+// packed at the minimum width for its values. Queries are scan pipelines:
+// predicate filters evaluated column-at-a-time over unpacked chunks,
+// followed by aggregation (sum/count/min/max) or group-by. All scans run
+// through the Callisto-style runtime, so placement and compression behave
+// exactly as for raw smart arrays — a Table is just a bundle of them.
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/core"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/rts"
+)
+
+// Column is one named, typed (unsigned integer) column.
+type Column struct {
+	Name string
+	arr  *core.SmartArray
+}
+
+// Array exposes the backing smart array.
+func (c *Column) Array() *core.SmartArray { return c.arr }
+
+// Table is a fixed-length collection of columns.
+type Table struct {
+	rt      *rts.Runtime
+	rows    uint64
+	columns []*Column
+	byName  map[string]*Column
+}
+
+// Options configure column storage.
+type Options struct {
+	// Placement applies to every column.
+	Placement memsim.Placement
+	// Socket is the SingleSocket target.
+	Socket int
+}
+
+// NewTable creates an empty table with the given row count.
+func NewTable(rt *rts.Runtime, rows uint64) (*Table, error) {
+	if rows == 0 {
+		return nil, errors.New("colstore: zero rows")
+	}
+	return &Table{rt: rt, rows: rows, byName: map[string]*Column{}}, nil
+}
+
+// Free releases every column.
+func (t *Table) Free() {
+	for _, c := range t.columns {
+		c.arr.Free()
+	}
+	t.columns = nil
+	t.byName = map[string]*Column{}
+}
+
+// Rows is the table length.
+func (t *Table) Rows() uint64 { return t.rows }
+
+// Columns lists the column names in definition order.
+func (t *Table) Columns() []string {
+	names := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// PayloadBytes is the packed payload of all columns (one copy each).
+func (t *Table) PayloadBytes() uint64 {
+	var sum uint64
+	for _, c := range t.columns {
+		sum += c.arr.CompressedBytes()
+	}
+	return sum
+}
+
+// AddColumn appends a column from values, packed at the minimum width
+// with the table's placement.
+func (t *Table) AddColumn(name string, values []uint64, opts Options) (*Column, error) {
+	if uint64(len(values)) != t.rows {
+		return nil, fmt.Errorf("colstore: column %q has %d values for %d rows", name, len(values), t.rows)
+	}
+	if _, dup := t.byName[name]; dup {
+		return nil, fmt.Errorf("colstore: duplicate column %q", name)
+	}
+	arr, err := core.Allocate(t.rt.Memory(), core.Config{
+		Length:    t.rows,
+		Bits:      bitpack.MinBitsFor(values),
+		Placement: opts.Placement,
+		Socket:    opts.Socket,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range values {
+		arr.Init(opts.Socket, uint64(i), v)
+	}
+	col := &Column{Name: name, arr: arr}
+	t.columns = append(t.columns, col)
+	t.byName[name] = col
+	return col, nil
+}
+
+// Column resolves a column by name.
+func (t *Table) Column(name string) (*Column, error) {
+	c, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown column %q", name)
+	}
+	return c, nil
+}
+
+// CmpOp is a predicate comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// eval applies the operator.
+func (op CmpOp) eval(a, b uint64) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
+}
+
+// Pred is a column-versus-constant predicate; predicates in a query are
+// conjunctive (AND).
+type Pred struct {
+	Column string
+	Op     CmpOp
+	Value  uint64
+}
+
+// Agg is an aggregate function.
+type Agg int
+
+// Aggregate functions.
+const (
+	Sum Agg = iota
+	Count
+	Min
+	Max
+)
+
+// aggState folds values.
+type aggState struct {
+	agg   Agg
+	sum   uint64
+	count uint64
+	min   uint64
+	max   uint64
+	any   bool
+}
+
+func newAggState(a Agg) aggState { return aggState{agg: a, min: ^uint64(0)} }
+
+func (s *aggState) add(v uint64) {
+	s.sum += v
+	s.count++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.any = true
+}
+
+func (s *aggState) merge(o aggState) {
+	s.sum += o.sum
+	s.count += o.count
+	if o.any {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+		s.any = true
+	}
+}
+
+func (s *aggState) result() uint64 {
+	switch s.agg {
+	case Sum:
+		return s.sum
+	case Count:
+		return s.count
+	case Min:
+		if !s.any {
+			return 0
+		}
+		return s.min
+	default:
+		if !s.any {
+			return 0
+		}
+		return s.max
+	}
+}
+
+// Aggregate evaluates `SELECT agg(column) WHERE preds...` with a parallel
+// chunk-at-a-time scan: predicate columns and the aggregated column are
+// unpacked per batch through the bounded-map path, exactly the scan shape
+// §5.1 models.
+func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error) {
+	target, err := t.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	predCols, err := t.resolvePreds(preds)
+	if err != nil {
+		return 0, err
+	}
+
+	var mu sync.Mutex
+	total := newAggState(agg)
+	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
+		local := newAggState(agg)
+		targetRep := target.arr.GetReplica(w.Socket)
+		reps := make([][]uint64, len(predCols))
+		for i, pc := range predCols {
+			reps[i] = pc.arr.GetReplica(w.Socket)
+		}
+		for row := lo; row < hi; row++ {
+			match := true
+			for i, pc := range predCols {
+				if !preds[i].Op.eval(pc.arr.Get(reps[i], row), preds[i].Value) {
+					match = false
+					break
+				}
+			}
+			if match {
+				local.add(target.arr.Get(targetRep, row))
+			}
+		}
+		mu.Lock()
+		total.merge(local)
+		mu.Unlock()
+	})
+	return total.result(), nil
+}
+
+// GroupBy evaluates `SELECT key, agg(column) GROUP BY key WHERE preds...`
+// returning one row per distinct key value, sorted by key.
+type GroupRow struct {
+	Key   uint64
+	Value uint64
+}
+
+// GroupBy runs the grouped aggregation.
+func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred) ([]GroupRow, error) {
+	key, err := t.Column(keyColumn)
+	if err != nil {
+		return nil, err
+	}
+	target, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	predCols, err := t.resolvePreds(preds)
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	groups := map[uint64]*aggState{}
+	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
+		local := map[uint64]*aggState{}
+		keyRep := key.arr.GetReplica(w.Socket)
+		targetRep := target.arr.GetReplica(w.Socket)
+		reps := make([][]uint64, len(predCols))
+		for i, pc := range predCols {
+			reps[i] = pc.arr.GetReplica(w.Socket)
+		}
+		for row := lo; row < hi; row++ {
+			match := true
+			for i, pc := range predCols {
+				if !preds[i].Op.eval(pc.arr.Get(reps[i], row), preds[i].Value) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			k := key.arr.Get(keyRep, row)
+			st, ok := local[k]
+			if !ok {
+				s := newAggState(agg)
+				st = &s
+				local[k] = st
+			}
+			st.add(target.arr.Get(targetRep, row))
+		}
+		mu.Lock()
+		for k, st := range local {
+			g, ok := groups[k]
+			if !ok {
+				s := newAggState(agg)
+				g = &s
+				groups[k] = g
+			}
+			g.merge(*st)
+		}
+		mu.Unlock()
+	})
+
+	rows := make([]GroupRow, 0, len(groups))
+	for k, st := range groups {
+		rows = append(rows, GroupRow{Key: k, Value: st.result()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows, nil
+}
+
+func (t *Table) resolvePreds(preds []Pred) ([]*Column, error) {
+	cols := make([]*Column, len(preds))
+	for i, p := range preds {
+		c, err := t.Column(p.Column)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
+// Migrate restructures every column to a new placement (the adaptivity
+// lever applied table-wide).
+func (t *Table) Migrate(p memsim.Placement, socket int) error {
+	for _, c := range t.columns {
+		if _, err := c.arr.Migrate(p, socket); err != nil {
+			return err
+		}
+	}
+	return nil
+}

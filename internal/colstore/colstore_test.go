@@ -1,0 +1,291 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/rts"
+)
+
+// fixture builds a 3-column sales table plus plain-slice shadows for
+// reference computations.
+type fixture struct {
+	table  *Table
+	qty    []uint64
+	price  []uint64
+	region []uint64
+}
+
+func newFixture(t *testing.T, rows uint64, placement memsim.Placement) *fixture {
+	t.Helper()
+	rt := rts.New(machine.X52Small())
+	table, err := NewTable(rt, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(table.Free)
+	rng := rand.New(rand.NewSource(int64(rows)))
+	f := &fixture{table: table}
+	f.qty = make([]uint64, rows)
+	f.price = make([]uint64, rows)
+	f.region = make([]uint64, rows)
+	for i := range f.qty {
+		f.qty[i] = uint64(rng.Intn(1000))
+		f.price[i] = uint64(rng.Intn(1 << 16))
+		f.region[i] = uint64(rng.Intn(8))
+	}
+	opts := Options{Placement: placement}
+	for name, vals := range map[string][]uint64{
+		"qty": f.qty, "price": f.price, "region": f.region,
+	} {
+		if _, err := table.AddColumn(name, vals, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestTableBasics(t *testing.T) {
+	f := newFixture(t, 5000, memsim.Interleaved)
+	if f.table.Rows() != 5000 {
+		t.Errorf("Rows = %d", f.table.Rows())
+	}
+	if got := len(f.table.Columns()); got != 3 {
+		t.Errorf("columns = %d", got)
+	}
+	c, err := f.table.Column("qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0..999 needs 10 bits.
+	if c.Array().Bits() != 10 {
+		t.Errorf("qty bits = %d, want 10", c.Array().Bits())
+	}
+	if f.table.PayloadBytes() >= 3*5000*8 {
+		t.Errorf("payload %d should be well under plain storage", f.table.PayloadBytes())
+	}
+}
+
+func TestAddColumnValidation(t *testing.T) {
+	rt := rts.New(machine.X52Small())
+	table, err := NewTable(rt, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Free()
+	if _, err := table.AddColumn("x", make([]uint64, 5), Options{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := table.AddColumn("x", make([]uint64, 10), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.AddColumn("x", make([]uint64, 10), Options{}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := table.Column("nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := NewTable(rt, 0); err == nil {
+		t.Error("zero rows should fail")
+	}
+}
+
+func TestAggregateMatchesReference(t *testing.T) {
+	for _, placement := range []memsim.Placement{memsim.Interleaved, memsim.Replicated} {
+		f := newFixture(t, 20_000, placement)
+		// SELECT SUM(price) WHERE qty > 900 AND region = 3
+		got, err := f.table.Aggregate(Sum, "price",
+			Pred{Column: "qty", Op: Gt, Value: 900},
+			Pred{Column: "region", Op: Eq, Value: 3},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for i := range f.qty {
+			if f.qty[i] > 900 && f.region[i] == 3 {
+				want += f.price[i]
+			}
+		}
+		if got != want {
+			t.Errorf("placement %v: sum = %d, want %d", placement, got, want)
+		}
+	}
+}
+
+func TestAggregateAllFunctions(t *testing.T) {
+	f := newFixture(t, 10_000, memsim.Interleaved)
+	var wantSum, wantCount uint64
+	wantMin, wantMax := ^uint64(0), uint64(0)
+	for i := range f.qty {
+		if f.qty[i] < 100 {
+			wantSum += f.price[i]
+			wantCount++
+			if f.price[i] < wantMin {
+				wantMin = f.price[i]
+			}
+			if f.price[i] > wantMax {
+				wantMax = f.price[i]
+			}
+		}
+	}
+	pred := Pred{Column: "qty", Op: Lt, Value: 100}
+	checks := map[Agg]uint64{Sum: wantSum, Count: wantCount, Min: wantMin, Max: wantMax}
+	for agg, want := range checks {
+		got, err := f.table.Aggregate(agg, "price", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("agg %d = %d, want %d", agg, got, want)
+		}
+	}
+}
+
+func TestAggregateEmptyResult(t *testing.T) {
+	f := newFixture(t, 1000, memsim.Interleaved)
+	for agg, want := range map[Agg]uint64{Sum: 0, Count: 0, Min: 0, Max: 0} {
+		got, err := f.table.Aggregate(agg, "price", Pred{Column: "qty", Op: Gt, Value: 1 << 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("empty agg %d = %d, want %d", agg, got, want)
+		}
+	}
+}
+
+func TestAggregateUnknownColumns(t *testing.T) {
+	f := newFixture(t, 100, memsim.Interleaved)
+	if _, err := f.table.Aggregate(Sum, "nope"); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if _, err := f.table.Aggregate(Sum, "price", Pred{Column: "nope", Op: Eq}); err == nil {
+		t.Error("unknown predicate column should fail")
+	}
+}
+
+func TestGroupByMatchesReference(t *testing.T) {
+	f := newFixture(t, 20_000, memsim.Replicated)
+	// SELECT region, SUM(price) WHERE qty >= 500 GROUP BY region
+	got, err := f.table.GroupBy("region", Sum, "price", Pred{Column: "qty", Op: Ge, Value: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	for i := range f.qty {
+		if f.qty[i] >= 500 {
+			want[f.region[i]] += f.price[i]
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(got), len(want))
+	}
+	var prev int64 = -1
+	for _, row := range got {
+		if int64(row.Key) <= prev {
+			t.Error("groups not sorted by key")
+		}
+		prev = int64(row.Key)
+		if row.Value != want[row.Key] {
+			t.Errorf("group %d = %d, want %d", row.Key, row.Value, want[row.Key])
+		}
+	}
+}
+
+func TestGroupByCount(t *testing.T) {
+	f := newFixture(t, 5000, memsim.Interleaved)
+	got, err := f.table.GroupBy("region", Count, "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, row := range got {
+		total += row.Value
+	}
+	if total != 5000 {
+		t.Errorf("group counts sum to %d, want 5000", total)
+	}
+}
+
+func TestMigrateTable(t *testing.T) {
+	f := newFixture(t, 2000, memsim.Interleaved)
+	before, err := f.table.Aggregate(Sum, "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.table.Migrate(memsim.Replicated, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.table.Aggregate(Sum, "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("sum changed across migration: %d -> %d", before, after)
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b uint64
+		want bool
+	}{
+		{Eq, 5, 5, true}, {Eq, 5, 6, false},
+		{Ne, 5, 6, true}, {Ne, 5, 5, false},
+		{Lt, 4, 5, true}, {Lt, 5, 5, false},
+		{Le, 5, 5, true}, {Le, 6, 5, false},
+		{Gt, 6, 5, true}, {Gt, 5, 5, false},
+		{Ge, 5, 5, true}, {Ge, 4, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.eval(c.a, c.b); got != c.want {
+			t.Errorf("%d %v %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Aggregate(Sum) with a random threshold predicate matches the
+// plain-slice reference for arbitrary data.
+func TestQuickAggregate(t *testing.T) {
+	rt := rts.New(machine.UMA(4))
+	f := func(seed int64, threshold uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const rows = 3000
+		a := make([]uint64, rows)
+		b := make([]uint64, rows)
+		for i := range a {
+			a[i] = uint64(rng.Intn(1 << 16))
+			b[i] = uint64(rng.Intn(1 << 16))
+		}
+		table, err := NewTable(rt, rows)
+		if err != nil {
+			return false
+		}
+		defer table.Free()
+		if _, err := table.AddColumn("a", a, Options{}); err != nil {
+			return false
+		}
+		if _, err := table.AddColumn("b", b, Options{}); err != nil {
+			return false
+		}
+		got, err := table.Aggregate(Sum, "b", Pred{Column: "a", Op: Lt, Value: uint64(threshold)})
+		if err != nil {
+			return false
+		}
+		var want uint64
+		for i := range a {
+			if a[i] < uint64(threshold) {
+				want += b[i]
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"smartarrays/internal/memsim"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	mem := newMemory()
+	for _, bits := range []uint{1, 10, 32, 33, 64} {
+		src := mustAlloc(t, mem, Config{Length: 500, Bits: bits, Placement: memsim.Interleaved})
+		mask := src.Codec().Mask()
+		for i := uint64(0); i < 500; i++ {
+			src.Init(0, i, (i*2654435761)&mask)
+		}
+		var buf bytes.Buffer
+		n, err := src.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("bits=%d: reported %d bytes, wrote %d", bits, n, buf.Len())
+		}
+		// Load with a different placement: content must be identical on
+		// every replica.
+		dst, err := ReadArray(mem, &buf, memsim.Replicated, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dst.Free()
+		if dst.Length() != 500 || dst.Bits() != bits {
+			t.Fatalf("bits=%d: shape %d/%d", bits, dst.Length(), dst.Bits())
+		}
+		for s := 0; s < 2; s++ {
+			rep := dst.GetReplica(s)
+			srcRep := src.GetReplica(0)
+			for i := uint64(0); i < 500; i++ {
+				if dst.Get(rep, i) != src.Get(srcRep, i) {
+					t.Fatalf("bits=%d socket=%d: elem %d mismatch", bits, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeOSDefaultLoadTouchesPages(t *testing.T) {
+	mem := newMemory()
+	src := mustAlloc(t, mem, Config{Length: 4 * memsim.PageWords, Bits: 64})
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ReadArray(mem, &buf, memsim.OSDefault, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Free()
+	// Loader thread on socket 1 first-touched every page.
+	if got := dst.Region().HomeSocket(0, 0); got != 1 {
+		t.Errorf("loaded page home = %d, want 1 (loader's socket)", got)
+	}
+}
+
+func TestReadArrayRejectsGarbage(t *testing.T) {
+	mem := newMemory()
+	cases := map[string][]byte{
+		"empty":     nil,
+		"shortHdr":  {1, 2, 3},
+		"badMagic":  append([]byte{0, 0, 0, 0}, make([]byte, 16)...),
+		"badVer":    {0x52, 0x41, 0x4D, 0x53, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 64, 0, 0, 0},
+		"truncated": nil, // filled below
+	}
+	src := mustAlloc(t, mem, Config{Length: 100, Bits: 33})
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases["truncated"] = buf.Bytes()[:buf.Len()-5]
+	for name, data := range cases {
+		if _, err := ReadArray(mem, bytes.NewReader(data), memsim.Interleaved, 0); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadArrayBadLengthInHeader(t *testing.T) {
+	mem := newMemory()
+	// Valid magic/version but zero length: Allocate must reject it.
+	hdr := make([]byte, 20)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0x52, 0x41, 0x4D, 0x53
+	hdr[4] = 1
+	hdr[16] = 64 // bits
+	if _, err := ReadArray(mem, bytes.NewReader(hdr), memsim.Interleaved, 0); err == nil {
+		t.Error("zero-length header should fail")
+	}
+}
+
+func TestWriteToPropagatesWriterErrors(t *testing.T) {
+	mem := newMemory()
+	src := mustAlloc(t, mem, Config{Length: 10_000, Bits: 64})
+	if _, err := src.WriteTo(&failingWriter{limit: 4}); err == nil {
+		t.Error("writer failure should propagate")
+	}
+}
+
+type failingWriter struct {
+	limit   int
+	written int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.written += len(p)
+	if f.written > f.limit {
+		return 0, io.ErrShortWrite
+	}
+	return len(p), nil
+}

@@ -1,0 +1,238 @@
+// Package core implements smart arrays, the paper's primary contribution:
+// an array abstraction whose "smart functionalities" — NUMA-aware data
+// placement (§4.1) and bit compression (§4.2) — trade hardware resources
+// against each other behind a single unified API (§4.3, Figure 9).
+//
+// A SmartArray owns a placed memsim.Region: replication really
+// materializes one copy per socket, interleaving really round-robins pages,
+// and compressed arrays really store packed words. The class hierarchy of
+// the paper's Figure 9 (abstract SmartArray, BitCompressedArray<BITS>,
+// specialized <32>/<64>, and the iterator family) maps to a single struct
+// parameterized by a bitpack.Codec plus concrete iterator types selected by
+// width, mirroring how the paper's entry points branch on the profiled bit
+// count.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/counters"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/perfmodel"
+)
+
+// Config describes a smart array to allocate: its length, compression
+// width, and NUMA placement. It corresponds to the parameter list of the
+// paper's SmartArray::allocate(length, replicated, interleaved, pinned,
+// bits); placements are mutually exclusive there too, hence a single enum.
+type Config struct {
+	// Length is the number of elements.
+	Length uint64
+	// Bits is the element width in [1,64]; 64 and 32 select the
+	// specialized uncompressed representations.
+	Bits uint
+	// Placement is the NUMA placement policy.
+	Placement memsim.Placement
+	// Socket is the target socket for SingleSocket placement.
+	Socket int
+}
+
+// SmartArray is a placed, optionally bit-compressed array of unsigned
+// integers. All methods are safe for concurrent readers; concurrent writers
+// must synchronize externally (the paper's arrays are read-only after
+// initialization, §4.2).
+type SmartArray struct {
+	mem    *memsim.Memory
+	region *memsim.Region
+	codec  bitpack.Codec
+	length uint64
+}
+
+// Allocate creates a smart array per cfg in the given simulated memory.
+func Allocate(mem *memsim.Memory, cfg Config) (*SmartArray, error) {
+	if cfg.Length == 0 {
+		return nil, errors.New("core: Length must be positive")
+	}
+	codec, err := bitpack.New(cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	region, err := mem.Alloc(codec.WordsFor(cfg.Length), cfg.Placement, cfg.Socket)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating %d elements at %d bits: %w", cfg.Length, cfg.Bits, err)
+	}
+	return &SmartArray{mem: mem, region: region, codec: codec, length: cfg.Length}, nil
+}
+
+// AllocateFor creates a smart array sized and compressed for values, using
+// the minimum width that fits the largest value (the paper's rule), then
+// initializes it from socket.
+func AllocateFor(mem *memsim.Memory, values []uint64, placement memsim.Placement, socket int) (*SmartArray, error) {
+	a, err := Allocate(mem, Config{
+		Length:    uint64(len(values)),
+		Bits:      bitpack.MinBitsFor(values),
+		Placement: placement,
+		Socket:    socket,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range values {
+		a.Init(socket, uint64(i), v)
+	}
+	return a, nil
+}
+
+// Free releases the array's simulated memory.
+func (a *SmartArray) Free() {
+	if a.region != nil {
+		a.region.Free()
+		a.region = nil
+	}
+}
+
+// Length is the number of elements (paper: getLength()).
+func (a *SmartArray) Length() uint64 { return a.length }
+
+// Bits is the element width (paper: getBits()).
+func (a *SmartArray) Bits() uint { return a.codec.Bits() }
+
+// Placement is the array's NUMA placement policy.
+func (a *SmartArray) Placement() memsim.Placement { return a.region.Placement() }
+
+// Region exposes the underlying placed region for traffic accounting and
+// migration.
+func (a *SmartArray) Region() *memsim.Region { return a.region }
+
+// Codec exposes the bit-compression codec.
+func (a *SmartArray) Codec() bitpack.Codec { return a.codec }
+
+// FootprintBytes is the simulated DRAM consumed, including replicas.
+func (a *SmartArray) FootprintBytes() uint64 { return a.region.FootprintBytes() }
+
+// CompressedBytes is the payload size of one copy of the array.
+func (a *SmartArray) CompressedBytes() uint64 { return a.codec.CompressedBytes(a.length) }
+
+// UncompressedBytes is what one copy would occupy at 64 bits per element.
+func (a *SmartArray) UncompressedBytes() uint64 { return a.length * 8 }
+
+// GetReplica returns the storage a reader on socket should use: the local
+// replica when replicated, the single copy otherwise (paper:
+// getReplica()).
+func (a *SmartArray) GetReplica(socket int) []uint64 {
+	return a.region.Replica(socket)
+}
+
+// Get extracts the element at index from the given replica (paper:
+// get(index, replica), Function 1). Fetch the replica once per scan with
+// GetReplica, not per element.
+func (a *SmartArray) Get(replica []uint64, index uint64) uint64 {
+	if index >= a.length {
+		panic(fmt.Sprintf("core: index %d out of range [0,%d)", index, a.length))
+	}
+	return a.codec.Get(replica, index)
+}
+
+// GetFrom is Get with replica selection folded in, for call sites that do
+// occasional random accesses rather than scans.
+func (a *SmartArray) GetFrom(socket int, index uint64) uint64 {
+	return a.Get(a.GetReplica(socket), index)
+}
+
+// Init sets the element at index to value in every replica (paper: init,
+// Function 2's replica loop), recording a first touch of the containing
+// page for OS-default placement. socket is the initializing thread's
+// socket. Init is not safe for concurrent writers to the same word; the
+// paper's workloads initialize ranges in parallel but disjointly.
+func (a *SmartArray) Init(socket int, index, value uint64) {
+	if index >= a.length {
+		panic(fmt.Sprintf("core: index %d out of range [0,%d)", index, a.length))
+	}
+	a.region.Touch(a.WordOf(index), socket)
+	for _, replica := range a.region.AllReplicas() {
+		a.codec.Set(replica, index, value)
+	}
+}
+
+// Unpack decodes chunk (64 elements) from the replica into out (paper:
+// unpack, Function 3).
+func (a *SmartArray) Unpack(replica []uint64, chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	a.codec.Unpack(replica, chunk, out)
+}
+
+// WordOf returns the word index containing element index — used for page
+// touch accounting.
+func (a *SmartArray) WordOf(index uint64) uint64 {
+	b := uint64(a.codec.Bits())
+	switch b {
+	case 64:
+		return index
+	case 32:
+		return index >> 1
+	default:
+		chunk := index / bitpack.ChunkSize
+		bitInChunk := (index % bitpack.ChunkSize) * b
+		return chunk*a.codec.WordsPerChunk() + bitInChunk/64
+	}
+}
+
+// WordRange returns the half-open word range covering elements [lo, hi).
+func (a *SmartArray) WordRange(lo, hi uint64) (loWord, hiWord uint64) {
+	if lo >= hi {
+		return 0, 0
+	}
+	loWord = a.WordOf(lo)
+	hiWord = a.WordOf(hi-1) + 1
+	return loWord, hiWord
+}
+
+// Migrate restructures the array to a new placement in place, returning
+// the traffic the restructuring generates (§6's on-the-fly adaptation).
+func (a *SmartArray) Migrate(p memsim.Placement, socket int) (trafficBytes uint64, err error) {
+	return a.region.Migrate(p, socket)
+}
+
+// AccountScan charges the traffic and instructions of sequentially reading
+// elements [lo, hi) to the shard: compressed payload bytes split across
+// serving sockets by the placement's page map, plus the width-dependent
+// per-element decode cost. Workloads call this once per loop batch.
+func (a *SmartArray) AccountScan(sh *counters.Shard, lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := a.WordRange(lo, hi)
+	a.region.AccountScan(sh, loWord, hiWord-loWord)
+	n := hi - lo
+	sh.Access(n)
+	sh.Instr(uint64(float64(n) * perfmodel.CostScan(a.codec.Bits())))
+}
+
+// AccountInit charges the traffic and instructions of initializing
+// elements [lo, hi): writes to every replica plus pack cost.
+func (a *SmartArray) AccountInit(sh *counters.Shard, lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := a.WordRange(lo, hi)
+	a.region.AccountWrite(sh, loWord, hiWord-loWord)
+	n := hi - lo
+	sh.Instr(uint64(float64(n) * perfmodel.CostInit(a.codec.Bits()) * float64(a.region.Replicas())))
+}
+
+// AccountRandomGets charges n random element reads: amplified DRAM traffic
+// (line fetches with an LLC hit credit) plus Function 1's decode cost.
+// localityBoost models skewed access distributions (see
+// perfmodel.RandomReadBytes).
+func (a *SmartArray) AccountRandomGets(sh *counters.Shard, n uint64, localityBoost float64) {
+	if n == 0 {
+		return
+	}
+	spec := a.mem.Spec()
+	elemBytes := float64(a.CompressedBytes()) / float64(a.length)
+	eff := perfmodel.RandomReadBytes(float64(a.CompressedBytes()), elemBytes, spec.LLCMB*1e6, localityBoost)
+	a.region.AccountRandom(sh, n, uint64(eff))
+	sh.Access(n)
+	sh.Instr(uint64(float64(n) * perfmodel.CostGet(a.codec.Bits())))
+}

@@ -1,0 +1,50 @@
+package counters
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Report writes a PCM-style per-socket breakdown of a snapshot — the view
+// the paper gathers "from Linux and hardware counters via Intel PCM"
+// (§5). seconds, when positive, adds derived bandwidth columns.
+func (s Snapshot) Report(w io.Writer, seconds float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "socket\tinstructions\tlocal-read\tremote-read\twrites\trandom\taccesses"
+	if seconds > 0 {
+		header += "\tread-GB/s"
+	}
+	fmt.Fprintln(tw, header)
+	for i := range s.Sockets {
+		t := &s.Sockets[i]
+		line := fmt.Sprintf("%d\t%d\t%s\t%s\t%s\t%d\t%d",
+			i, t.Instructions,
+			fmtBytes(t.LocalReadBytes(i)), fmtBytes(t.RemoteReadBytes(i)),
+			fmtBytes(t.TotalWriteBytes()), t.RandomAccesses, t.Accesses)
+		if seconds > 0 {
+			line += fmt.Sprintf("\t%.2f", float64(t.TotalReadBytes())/seconds/(1<<30))
+		}
+		fmt.Fprintln(tw, line)
+	}
+	total := fmt.Sprintf("all\t%d\t\t\t%s\t%d\t%d",
+		s.TotalInstructions(), fmtBytes(s.TotalWriteBytes()),
+		s.TotalRandomAccesses(), s.TotalAccesses())
+	fmt.Fprintln(tw, total)
+	fmt.Fprintf(tw, "interconnect\t%s\n", fmtBytes(s.InterconnectBytes()))
+	tw.Flush()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

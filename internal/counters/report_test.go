@@ -1,0 +1,57 @@
+package counters
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportFormatsAllSections(t *testing.T) {
+	f := NewFabric(2)
+	sh := f.NewShard(0)
+	sh.Instr(1000)
+	sh.Read(0, 3<<30)
+	sh.Read(1, 5<<20)
+	sh.Write(1, 2<<10)
+	sh.Random(7)
+	sh.Access(9)
+
+	var buf bytes.Buffer
+	f.Snapshot().Report(&buf, 2.0)
+	out := buf.String()
+	for _, want := range []string{
+		"socket", "instructions", "3.00 GiB", "5.00 MiB", "2.00 KiB",
+		"interconnect", "read-GB/s", "all",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWithoutSeconds(t *testing.T) {
+	f := NewFabric(1)
+	f.NewShard(0).Read(0, 100)
+	var buf bytes.Buffer
+	f.Snapshot().Report(&buf, 0)
+	if strings.Contains(buf.String(), "GB/s") {
+		t.Error("bandwidth column should be omitted without a duration")
+	}
+	if !strings.Contains(buf.String(), "100 B") {
+		t.Error("plain byte formatting missing")
+	}
+}
+
+func TestFmtBytesUnits(t *testing.T) {
+	cases := map[uint64]string{
+		5:       "5 B",
+		2 << 10: "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		4 << 30: "4.00 GiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

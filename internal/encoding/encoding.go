@@ -1,0 +1,298 @@
+// Package encoding implements the alternative lightweight compression
+// techniques the paper plans beyond plain bit compression (§4.2, §7):
+// dictionary encoding and run-length encoding, plus a selector that picks
+// the smallest encoding for a given value distribution — the paper's
+// envisioned "ability to dynamically select the correct technique".
+//
+// All encodings expose the same read interface over 64-bit unsigned
+// values and report their payload size, so the adaptivity machinery can
+// trade them off. The encoded forms build on the bitpack codec: dictionary
+// IDs and run values are themselves bit-packed at their minimum widths.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smartarrays/internal/bitpack"
+)
+
+// Kind identifies an encoding technique.
+type Kind int
+
+const (
+	// Plain is uncompressed 64-bit storage.
+	Plain Kind = iota
+	// BitPacked is the paper's §4.2 bit compression at minimum width.
+	BitPacked
+	// Dict is dictionary encoding: distinct values in a sorted
+	// dictionary, elements stored as bit-packed dictionary IDs.
+	Dict
+	// RLE is run-length encoding: (value, length) pairs, both
+	// bit-packed, with a sparse index for random access.
+	RLE
+)
+
+// String names the encoding.
+func (k Kind) String() string {
+	switch k {
+	case Plain:
+		return "plain"
+	case BitPacked:
+		return "bitpacked"
+	case Dict:
+		return "dictionary"
+	case RLE:
+		return "rle"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Encoded is the common read interface over an encoded array.
+type Encoded interface {
+	// Kind identifies the technique.
+	Kind() Kind
+	// Length is the element count.
+	Length() uint64
+	// Get returns the element at index.
+	Get(index uint64) uint64
+	// PayloadBytes is the storage footprint of the encoded form.
+	PayloadBytes() uint64
+}
+
+// PlainArray stores the values as-is (the baseline).
+type PlainArray struct {
+	values []uint64
+}
+
+// NewPlain copies values into a plain encoding.
+func NewPlain(values []uint64) *PlainArray {
+	return &PlainArray{values: append([]uint64(nil), values...)}
+}
+
+// Kind identifies the technique.
+func (p *PlainArray) Kind() Kind { return Plain }
+
+// Length is the element count.
+func (p *PlainArray) Length() uint64 { return uint64(len(p.values)) }
+
+// Get returns the element at index.
+func (p *PlainArray) Get(index uint64) uint64 { return p.values[index] }
+
+// PayloadBytes is the storage footprint.
+func (p *PlainArray) PayloadBytes() uint64 { return uint64(len(p.values)) * 8 }
+
+// BitPackedArray is §4.2 bit compression at the minimum width.
+type BitPackedArray struct {
+	codec  bitpack.Codec
+	data   []uint64
+	length uint64
+}
+
+// NewBitPacked packs values at the minimum width for their maximum.
+func NewBitPacked(values []uint64) *BitPackedArray {
+	codec := bitpack.MustNew(bitpack.MinBitsFor(values))
+	return &BitPackedArray{
+		codec:  codec,
+		data:   codec.PackSlice(values),
+		length: uint64(len(values)),
+	}
+}
+
+// Kind identifies the technique.
+func (b *BitPackedArray) Kind() Kind { return BitPacked }
+
+// Length is the element count.
+func (b *BitPackedArray) Length() uint64 { return b.length }
+
+// Get returns the element at index.
+func (b *BitPackedArray) Get(index uint64) uint64 { return b.codec.Get(b.data, index) }
+
+// PayloadBytes is the storage footprint.
+func (b *BitPackedArray) PayloadBytes() uint64 { return b.codec.CompressedBytes(b.length) }
+
+// Bits is the packed width.
+func (b *BitPackedArray) Bits() uint { return b.codec.Bits() }
+
+// DictArray stores each element as a bit-packed ID into a sorted
+// dictionary of the distinct values — the standard column-store encoding
+// the paper cites (§4.2's related work). It shines when the number of
+// distinct values is small relative to their magnitudes.
+type DictArray struct {
+	dict   []uint64
+	ids    *BitPackedArray
+	length uint64
+}
+
+// NewDict builds a dictionary encoding of values.
+func NewDict(values []uint64) *DictArray {
+	distinct := map[uint64]struct{}{}
+	for _, v := range values {
+		distinct[v] = struct{}{}
+	}
+	dict := make([]uint64, 0, len(distinct))
+	for v := range distinct {
+		dict = append(dict, v)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	idOf := make(map[uint64]uint64, len(dict))
+	for i, v := range dict {
+		idOf[v] = uint64(i)
+	}
+	ids := make([]uint64, len(values))
+	for i, v := range values {
+		ids[i] = idOf[v]
+	}
+	return &DictArray{dict: dict, ids: NewBitPacked(ids), length: uint64(len(values))}
+}
+
+// Kind identifies the technique.
+func (d *DictArray) Kind() Kind { return Dict }
+
+// Length is the element count.
+func (d *DictArray) Length() uint64 { return d.length }
+
+// Get returns the element at index (ID lookup then dictionary fetch).
+func (d *DictArray) Get(index uint64) uint64 { return d.dict[d.ids.Get(index)] }
+
+// PayloadBytes is IDs plus the dictionary itself.
+func (d *DictArray) PayloadBytes() uint64 {
+	return d.ids.PayloadBytes() + uint64(len(d.dict))*8
+}
+
+// DistinctValues is the dictionary size.
+func (d *DictArray) DistinctValues() int { return len(d.dict) }
+
+// LookupID returns the dictionary ID of value, for predicate rewriting
+// (evaluate comparisons on IDs without decoding — the classic dictionary
+// trick). ok is false when the value does not occur.
+func (d *DictArray) LookupID(value uint64) (id uint64, ok bool) {
+	i := sort.Search(len(d.dict), func(i int) bool { return d.dict[i] >= value })
+	if i < len(d.dict) && d.dict[i] == value {
+		return uint64(i), true
+	}
+	return 0, false
+}
+
+// rleIndexStride is how many runs share one sparse-index entry; random
+// access binary-searches the index then walks at most a stride of runs.
+const rleIndexStride = 32
+
+// RLEArray stores (value, runLength) pairs with a sparse prefix index for
+// random access. It wins on long runs (sorted or low-cardinality
+// clustered data).
+type RLEArray struct {
+	values  *BitPackedArray // run values
+	lengths *BitPackedArray // run lengths
+	// index[k] is the element offset of run k*rleIndexStride.
+	index  []uint64
+	runs   uint64
+	length uint64
+}
+
+// NewRLE builds a run-length encoding of values.
+func NewRLE(values []uint64) *RLEArray {
+	var runVals, runLens []uint64
+	for i := 0; i < len(values); {
+		j := i
+		for j < len(values) && values[j] == values[i] {
+			j++
+		}
+		runVals = append(runVals, values[i])
+		runLens = append(runLens, uint64(j-i))
+		i = j
+	}
+	r := &RLEArray{
+		runs:   uint64(len(runVals)),
+		length: uint64(len(values)),
+	}
+	if len(runVals) == 0 {
+		runVals, runLens = []uint64{0}, []uint64{0}
+	}
+	r.values = NewBitPacked(runVals)
+	r.lengths = NewBitPacked(runLens)
+	var offset uint64
+	for k := uint64(0); k < uint64(len(runVals)); k++ {
+		if k%rleIndexStride == 0 {
+			r.index = append(r.index, offset)
+		}
+		offset += runLens[k]
+	}
+	return r
+}
+
+// Kind identifies the technique.
+func (r *RLEArray) Kind() Kind { return RLE }
+
+// Length is the element count.
+func (r *RLEArray) Length() uint64 { return r.length }
+
+// Runs is the number of runs.
+func (r *RLEArray) Runs() uint64 { return r.runs }
+
+// Get returns the element at index: binary search the sparse index, then
+// walk runs within the stride.
+func (r *RLEArray) Get(index uint64) uint64 {
+	if index >= r.length {
+		panic(fmt.Sprintf("encoding: index %d out of range [0,%d)", index, r.length))
+	}
+	// Find the last index entry with offset <= index.
+	lo, hi := 0, len(r.index)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.index[mid] <= index {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	run := uint64(lo) * rleIndexStride
+	offset := r.index[lo]
+	for {
+		n := r.lengths.Get(run)
+		if index < offset+n {
+			return r.values.Get(run)
+		}
+		offset += n
+		run++
+	}
+}
+
+// PayloadBytes is runs (values + lengths) plus the sparse index.
+func (r *RLEArray) PayloadBytes() uint64 {
+	return r.values.PayloadBytes() + r.lengths.PayloadBytes() + uint64(len(r.index))*8
+}
+
+// Decode materializes any encoding back to a plain slice.
+func Decode(e Encoded) []uint64 {
+	out := make([]uint64, e.Length())
+	for i := range out {
+		out[i] = e.Get(uint64(i))
+	}
+	return out
+}
+
+// Select builds all candidate encodings of values and returns the one
+// with the smallest payload — the paper's envisioned dynamic selection of
+// the compression technique (§4.2, §7). The baseline plain encoding is
+// returned only if nothing beats it.
+func Select(values []uint64) (Encoded, error) {
+	if len(values) == 0 {
+		return nil, errors.New("encoding: empty input")
+	}
+	candidates := []Encoded{
+		NewPlain(values),
+		NewBitPacked(values),
+		NewDict(values),
+		NewRLE(values),
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.PayloadBytes() < best.PayloadBytes() {
+			best = c
+		}
+	}
+	return best, nil
+}

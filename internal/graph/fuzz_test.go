@@ -1,0 +1,27 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary text to the edge-list parser: it must
+// either return a valid graph or an error — never panic, and never
+// produce a graph that fails Validate.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# vertices 5 edges 2\n0 1\n3 4\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add("# vertices 1 edges 0\n")
+	f.Add("1 99999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser produced invalid graph: %v (input %q)", err, input)
+		}
+	})
+}

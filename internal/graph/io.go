@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a text edge list: a header line
+// "# vertices <n> edges <m>" followed by one "src dst" pair per line.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", g.NumVertices, g.NumEdges); err != nil {
+		return err
+	}
+	for v := uint64(0); v < g.NumVertices; v++ {
+		for _, d := range g.OutNeighbors(uint32(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MaxParsedVertices caps the vertex count ReadEdgeList will materialize.
+// The CSR begin arrays cost 16 bytes per vertex regardless of edges, so a
+// tiny malicious input ("0 4000000000") could otherwise allocate tens of
+// gigabytes. Use ReadEdgeListLimit for datasets that legitimately exceed
+// the default.
+const MaxParsedVertices = 1 << 26
+
+// ReadEdgeList parses the format written by WriteEdgeList with the
+// default vertex cap. Comment lines other than the header and blank lines
+// are skipped; the header is optional (the vertex count then defaults to
+// max endpoint + 1).
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	return ReadEdgeListLimit(r, MaxParsedVertices)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with an explicit vertex cap.
+func ReadEdgeListLimit(r io.Reader, maxVertices uint64) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var numVertices uint64
+	var haveHeader bool
+	var edges []Edge32
+	var maxID uint32
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var n, m uint64
+			if _, err := fmt.Sscanf(text, "# vertices %d edges %d", &n, &m); err == nil {
+				numVertices = n
+				haveHeader = true
+			}
+			continue
+		}
+		var s, d uint32
+		if _, err := fmt.Sscanf(text, "%d %d", &s, &d); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
+		}
+		if s > maxID {
+			maxID = s
+		}
+		if d > maxID {
+			maxID = d
+		}
+		edges = append(edges, Edge32{Src: s, Dst: d})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 && !haveHeader {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if !haveHeader {
+		numVertices = uint64(maxID) + 1
+	}
+	if numVertices > maxVertices {
+		return nil, fmt.Errorf("graph: input declares %d vertices, limit %d (use ReadEdgeListLimit)", numVertices, maxVertices)
+	}
+	return Build(numVertices, edges)
+}

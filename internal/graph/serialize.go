@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"smartarrays/internal/core"
+	"smartarrays/internal/memsim"
+)
+
+// Binary serialization of smart-array CSR graphs: a header with the graph
+// shape followed by the four arrays in core's array format. As with single
+// arrays, placement is chosen at load time — the same file loads
+// replicated on one machine and interleaved on another.
+
+const (
+	graphMagic   = 0x53435352 // "SCSR"
+	graphVersion = 1
+)
+
+// WriteTo serializes the graph (shape header + begin, edge, rbegin,
+// redge).
+func (s *SmartCSR) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var header [24]byte
+	binary.LittleEndian.PutUint32(header[0:4], graphMagic)
+	binary.LittleEndian.PutUint32(header[4:8], graphVersion)
+	binary.LittleEndian.PutUint64(header[8:16], s.NumVertices)
+	binary.LittleEndian.PutUint64(header[16:24], s.NumEdges)
+	if _, err := bw.Write(header[:]); err != nil {
+		return 0, err
+	}
+	written := int64(len(header))
+	for _, a := range []*core.SmartArray{s.Begin, s.Edge, s.RBegin, s.REdge} {
+		n, err := a.WriteTo(bw)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadSmartCSR deserializes a graph into mem with the given placement.
+// Compression widths come from the stream (they were fixed when the graph
+// was materialized), so the layout's CompressBegin/CompressEdge flags are
+// ignored; only its placement matters.
+func ReadSmartCSR(mem *memsim.Memory, r io.Reader, layout Layout) (*SmartCSR, error) {
+	br := bufio.NewReader(r)
+	var header [24]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading graph header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(header[0:4]); got != graphMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(header[4:8]); got != graphVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", got)
+	}
+	s := &SmartCSR{
+		NumVertices: binary.LittleEndian.Uint64(header[8:16]),
+		NumEdges:    binary.LittleEndian.Uint64(header[16:24]),
+		layout:      layout,
+	}
+	arrays := []**core.SmartArray{&s.Begin, &s.Edge, &s.RBegin, &s.REdge}
+	for i, slot := range arrays {
+		a, err := core.ReadArray(mem, br, layout.Placement, layout.Socket)
+		if err != nil {
+			s.Free()
+			return nil, fmt.Errorf("graph: array %d: %w", i, err)
+		}
+		*slot = a
+	}
+	// Shape sanity: begin arrays must cover the vertices, edge arrays the
+	// edges (edgeless graphs keep a 1-element stub, matching NewSmartCSR).
+	wantEdgeLen := s.NumEdges
+	if wantEdgeLen == 0 {
+		wantEdgeLen = 1
+	}
+	if s.Begin.Length() != s.NumVertices+1 || s.RBegin.Length() != s.NumVertices+1 ||
+		s.Edge.Length() != wantEdgeLen || s.REdge.Length() != wantEdgeLen {
+		s.Free()
+		return nil, fmt.Errorf("graph: stream arrays do not match header shape (%d vertices, %d edges)",
+			s.NumVertices, s.NumEdges)
+	}
+	return s, nil
+}

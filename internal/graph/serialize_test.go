@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+func TestSmartCSRSerializeRoundTrip(t *testing.T) {
+	mem := memsim.New(machine.X52Small())
+	g, err := GeneratePowerLaw(1500, 5, 1.7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSmartCSR(mem, g, Layout{CompressBegin: true, CompressEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Free()
+
+	var buf bytes.Buffer
+	n, err := src.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	// Load with a different placement: contents and widths preserved.
+	dst, err := ReadSmartCSR(mem, &buf, Layout{Placement: memsim.Replicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Free()
+	if dst.NumVertices != g.NumVertices || dst.NumEdges != g.NumEdges {
+		t.Fatalf("shape = %d/%d", dst.NumVertices, dst.NumEdges)
+	}
+	if dst.Begin.Bits() != src.Begin.Bits() || dst.Edge.Bits() != src.Edge.Bits() {
+		t.Errorf("widths changed: begin %d->%d edge %d->%d",
+			src.Begin.Bits(), dst.Begin.Bits(), src.Edge.Bits(), dst.Edge.Bits())
+	}
+	if dst.Begin.Placement() != memsim.Replicated {
+		t.Errorf("placement = %v, want replicated", dst.Begin.Placement())
+	}
+	for _, socket := range []int{0, 1} {
+		beginRep := dst.Begin.GetReplica(socket)
+		edgeRep := dst.Edge.GetReplica(socket)
+		for v := uint64(0); v <= g.NumVertices; v++ {
+			if dst.Begin.Get(beginRep, v) != g.Begin[v] {
+				t.Fatalf("begin[%d] mismatch on socket %d", v, socket)
+			}
+		}
+		for e := uint64(0); e < g.NumEdges; e++ {
+			if dst.Edge.Get(edgeRep, e) != uint64(g.Edge[e]) {
+				t.Fatalf("edge[%d] mismatch on socket %d", e, socket)
+			}
+		}
+	}
+}
+
+func TestReadSmartCSRRejectsGarbage(t *testing.T) {
+	mem := memsim.New(machine.X52Small())
+	cases := map[string][]byte{
+		"empty":    nil,
+		"short":    {1, 2, 3},
+		"badMagic": make([]byte, 24),
+	}
+	for name, data := range cases {
+		if _, err := ReadSmartCSR(mem, bytes.NewReader(data), Layout{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Truncated mid-array.
+	g, _ := GenerateRing(64)
+	src, err := NewSmartCSR(mem, g, Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Free()
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSmartCSR(mem, bytes.NewReader(truncated), Layout{}); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	if used := mem.TotalUsedBytes(); used != src.FootprintBytes() {
+		t.Errorf("failed load leaked memory: used %d, want %d", used, src.FootprintBytes())
+	}
+}
+
+func TestSmartCSRSerializeAnalyticsEquivalence(t *testing.T) {
+	// PageRank over the reloaded graph must match the original exactly.
+	mem := memsim.New(machine.X52Small())
+	g, err := GenerateUniform(500, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSmartCSR(mem, g, Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Free()
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ReadSmartCSR(mem, &buf, Layout{Placement: memsim.Interleaved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Free()
+	for v := uint64(0); v < g.NumVertices; v++ {
+		if src.OutDegree(0, v) != dst.OutDegree(1, v) || src.InDegree(0, v) != dst.InDegree(1, v) {
+			t.Fatalf("degrees diverge at vertex %d", v)
+		}
+	}
+}

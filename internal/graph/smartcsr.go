@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/core"
+	"smartarrays/internal/memsim"
+)
+
+// Layout selects how a SmartCSR stores its arrays, covering the
+// compression variants of the paper's Figure 12:
+//
+//	"U"   — natural widths: 64-bit begin/rbegin, 32-bit edge/redge.
+//	"V"   — begin/rbegin compressed to the minimum bits for edge indices.
+//	"V+E" — additionally edge/redge compressed to the minimum bits for
+//	        vertex IDs.
+type Layout struct {
+	// Placement applies to every graph array (the paper varies them
+	// together; output arrays stay interleaved and are owned by the
+	// algorithms).
+	Placement memsim.Placement
+	// Socket is the target for SingleSocket placement.
+	Socket int
+	// CompressBegin packs begin/rbegin with the minimum width instead of
+	// 64 bits (Figure 12's "V").
+	CompressBegin bool
+	// CompressEdge packs edge/redge with the minimum width instead of 32
+	// bits (Figure 12's "V+E").
+	CompressEdge bool
+}
+
+// SmartCSR is a CSR graph materialized in smart arrays.
+type SmartCSR struct {
+	NumVertices uint64
+	NumEdges    uint64
+	Begin       *core.SmartArray
+	Edge        *core.SmartArray
+	RBegin      *core.SmartArray
+	REdge       *core.SmartArray
+	layout      Layout
+}
+
+// NewSmartCSR materializes g into smart arrays per the layout. socket 0
+// threads initialize (matching the paper's note that single-threaded
+// initialization first-touches onto one socket under the OS default
+// policy).
+func NewSmartCSR(mem *memsim.Memory, g *CSR, layout Layout) (*SmartCSR, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	beginBits := uint(64)
+	if layout.CompressBegin {
+		beginBits = bitpack.MinBits(g.NumEdges)
+	}
+	edgeBits := uint(32)
+	if layout.CompressEdge {
+		edgeBits = bitpack.MinBits(uint64(g.MaxVertexID()))
+	}
+
+	s := &SmartCSR{NumVertices: g.NumVertices, NumEdges: g.NumEdges, layout: layout}
+	var err error
+	free := func() { s.Free() }
+
+	alloc := func(length uint64, bits uint) (*core.SmartArray, error) {
+		return core.Allocate(mem, core.Config{
+			Length: length, Bits: bits,
+			Placement: layout.Placement, Socket: layout.Socket,
+		})
+	}
+	if s.Begin, err = alloc(g.NumVertices+1, beginBits); err != nil {
+		free()
+		return nil, fmt.Errorf("graph: begin: %w", err)
+	}
+	if s.RBegin, err = alloc(g.NumVertices+1, beginBits); err != nil {
+		free()
+		return nil, fmt.Errorf("graph: rbegin: %w", err)
+	}
+	edgeLen := g.NumEdges
+	if edgeLen == 0 {
+		edgeLen = 1 // smart arrays are non-empty; edgeless graphs keep a stub
+	}
+	if s.Edge, err = alloc(edgeLen, edgeBits); err != nil {
+		free()
+		return nil, fmt.Errorf("graph: edge: %w", err)
+	}
+	if s.REdge, err = alloc(edgeLen, edgeBits); err != nil {
+		free()
+		return nil, fmt.Errorf("graph: redge: %w", err)
+	}
+
+	for v := uint64(0); v <= g.NumVertices; v++ {
+		s.Begin.Init(0, v, g.Begin[v])
+		s.RBegin.Init(0, v, g.RBegin[v])
+	}
+	for i := uint64(0); i < g.NumEdges; i++ {
+		s.Edge.Init(0, i, uint64(g.Edge[i]))
+		s.REdge.Init(0, i, uint64(g.REdge[i]))
+	}
+	return s, nil
+}
+
+// Free releases all graph arrays.
+func (s *SmartCSR) Free() {
+	for _, a := range []*core.SmartArray{s.Begin, s.Edge, s.RBegin, s.REdge} {
+		if a != nil {
+			a.Free()
+		}
+	}
+	s.Begin, s.Edge, s.RBegin, s.REdge = nil, nil, nil, nil
+}
+
+// Layout returns the storage layout.
+func (s *SmartCSR) Layout() Layout { return s.layout }
+
+// FootprintBytes is the simulated DRAM held by all graph arrays, including
+// replicas.
+func (s *SmartCSR) FootprintBytes() uint64 {
+	var sum uint64
+	for _, a := range []*core.SmartArray{s.Begin, s.Edge, s.RBegin, s.REdge} {
+		if a != nil {
+			sum += a.FootprintBytes()
+		}
+	}
+	return sum
+}
+
+// PayloadBytes is the single-copy (no replicas) payload of all graph
+// arrays — the quantity behind the paper's "V+E reduces memory space
+// requirements by around 21%" formula.
+func (s *SmartCSR) PayloadBytes() uint64 {
+	var sum uint64
+	for _, a := range []*core.SmartArray{s.Begin, s.Edge, s.RBegin, s.REdge} {
+		if a != nil {
+			sum += a.CompressedBytes()
+		}
+	}
+	return sum
+}
+
+// OutDegree reads v's out-degree from the smart begin array for a reader
+// on socket.
+func (s *SmartCSR) OutDegree(socket int, v uint64) uint64 {
+	replica := s.Begin.GetReplica(socket)
+	return s.Begin.Get(replica, v+1) - s.Begin.Get(replica, v)
+}
+
+// InDegree reads v's in-degree from the smart rbegin array.
+func (s *SmartCSR) InDegree(socket int, v uint64) uint64 {
+	replica := s.RBegin.GetReplica(socket)
+	return s.RBegin.Get(replica, v+1) - s.RBegin.Get(replica, v)
+}

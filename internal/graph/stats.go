@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Stats summarizes a graph's shape — the quantities that decide which
+// smart functionalities pay off (edge-ID widths for compression, degree
+// skew for gather locality).
+type Stats struct {
+	Vertices uint64
+	Edges    uint64
+	// MinOut/MaxOut/MeanOut summarize the out-degree distribution;
+	// MaxIn and GiniIn the in-degree skew (power-law graphs have high
+	// Gini coefficients).
+	MinOut, MaxOut uint64
+	MeanOut        float64
+	MaxIn          uint64
+	GiniIn         float64
+	// BitsForEdgeIDs / BitsForVertexIDs are the minimum widths the §4.2
+	// compression rule would use for begin and edge arrays.
+	BitsForEdgeIDs   uint
+	BitsForVertexIDs uint
+}
+
+// ComputeStats scans the graph once.
+func ComputeStats(g *CSR) Stats {
+	s := Stats{
+		Vertices: g.NumVertices,
+		Edges:    g.NumEdges,
+		MinOut:   math.MaxUint64,
+	}
+	inDegrees := make([]uint64, g.NumVertices)
+	var sumIn uint64
+	for v := uint64(0); v < g.NumVertices; v++ {
+		out := g.OutDegree(uint32(v))
+		if out < s.MinOut {
+			s.MinOut = out
+		}
+		if out > s.MaxOut {
+			s.MaxOut = out
+		}
+		in := g.InDegree(uint32(v))
+		inDegrees[v] = in
+		sumIn += in
+		if in > s.MaxIn {
+			s.MaxIn = in
+		}
+	}
+	if g.NumVertices > 0 {
+		s.MeanOut = float64(g.NumEdges) / float64(g.NumVertices)
+	}
+	s.GiniIn = gini(inDegrees, sumIn)
+	s.BitsForEdgeIDs = minBits(g.NumEdges)
+	if g.NumVertices > 1 {
+		s.BitsForVertexIDs = minBits(g.NumVertices - 1)
+	} else {
+		s.BitsForVertexIDs = 1
+	}
+	return s
+}
+
+// gini computes the Gini coefficient of the degree distribution: 0 for
+// perfectly uniform, approaching 1 for extreme hub concentration.
+func gini(degrees []uint64, sum uint64) float64 {
+	n := len(degrees)
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), degrees...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var weighted float64
+	for i, d := range sorted {
+		weighted += float64(i+1) * float64(d)
+	}
+	return (2*weighted)/(float64(n)*float64(sum)) - float64(n+1)/float64(n)
+}
+
+// minBits mirrors bitpack.MinBits without the import (graph is below
+// bitpack in no dependency order, but keep stats self-contained).
+func minBits(v uint64) uint {
+	if v == 0 {
+		return 1
+	}
+	bits := uint(0)
+	for v > 0 {
+		bits++
+		v >>= 1
+	}
+	return bits
+}
+
+// DegreeHistogram returns log2-bucketed counts of the in-degree
+// distribution: bucket k counts vertices with in-degree in [2^k, 2^(k+1)),
+// bucket 0 additionally holding degree-0 and degree-1 vertices.
+func DegreeHistogram(g *CSR) []uint64 {
+	var hist []uint64
+	bump := func(bucket int) {
+		for len(hist) <= bucket {
+			hist = append(hist, 0)
+		}
+		hist[bucket]++
+	}
+	for v := uint64(0); v < g.NumVertices; v++ {
+		d := g.InDegree(uint32(v))
+		bucket := 0
+		for d > 1 {
+			bucket++
+			d >>= 1
+		}
+		bump(bucket)
+	}
+	return hist
+}
+
+// PrintStats writes a human-readable summary.
+func PrintStats(w io.Writer, s Stats) {
+	fmt.Fprintf(w, "vertices %d, edges %d (mean out-degree %.2f)\n", s.Vertices, s.Edges, s.MeanOut)
+	fmt.Fprintf(w, "out-degree range [%d, %d]; max in-degree %d; in-degree Gini %.3f\n",
+		s.MinOut, s.MaxOut, s.MaxIn, s.GiniIn)
+	fmt.Fprintf(w, "compression widths: %d bits for edge indices, %d bits for vertex IDs\n",
+		s.BitsForEdgeIDs, s.BitsForVertexIDs)
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsRing(t *testing.T) {
+	g, err := GenerateRing(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.Vertices != 100 || s.Edges != 100 {
+		t.Errorf("shape = %d/%d", s.Vertices, s.Edges)
+	}
+	if s.MinOut != 1 || s.MaxOut != 1 || s.MeanOut != 1 {
+		t.Errorf("out degrees: min=%d max=%d mean=%v", s.MinOut, s.MaxOut, s.MeanOut)
+	}
+	if s.MaxIn != 1 {
+		t.Errorf("MaxIn = %d", s.MaxIn)
+	}
+	// Uniform distribution: Gini 0.
+	if s.GiniIn > 1e-9 {
+		t.Errorf("ring Gini = %v, want 0", s.GiniIn)
+	}
+	if s.BitsForEdgeIDs != 7 { // 100 edges -> 7 bits
+		t.Errorf("edge-ID bits = %d, want 7", s.BitsForEdgeIDs)
+	}
+	if s.BitsForVertexIDs != 7 { // max ID 99 -> 7 bits
+		t.Errorf("vertex-ID bits = %d, want 7", s.BitsForVertexIDs)
+	}
+}
+
+func TestStatsPowerLawSkew(t *testing.T) {
+	uniform, err := GenerateUniform(2000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := GeneratePowerLaw(2000, 8, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu := ComputeStats(uniform).GiniIn
+	gp := ComputeStats(power).GiniIn
+	if gp <= gu {
+		t.Errorf("power-law Gini (%v) should exceed uniform Gini (%v)", gp, gu)
+	}
+	if gp < 0.5 {
+		t.Errorf("power-law Gini = %v, want heavy skew (> 0.5)", gp)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star graph: center has in-degree 0, leaves in-degree 1... build
+	// edges center -> leaves: leaves have in-degree 1, center 0.
+	var edges []Edge32
+	for i := uint32(1); i < 9; i++ {
+		edges = append(edges, Edge32{Src: 0, Dst: i})
+	}
+	g, err := Build(9, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := DegreeHistogram(g)
+	// Bucket 0 holds degrees 0 and 1: all 9 vertices.
+	if hist[0] != 9 {
+		t.Errorf("hist[0] = %d, want 9", hist[0])
+	}
+	// Reverse star: center's in-degree is 8 -> bucket 3 ([8,16)).
+	var redges []Edge32
+	for i := uint32(1); i < 9; i++ {
+		redges = append(redges, Edge32{Src: i, Dst: 0})
+	}
+	g2, err := Build(9, redges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist2 := DegreeHistogram(g2)
+	if hist2[3] != 1 {
+		t.Errorf("hist2 = %v, want one vertex in bucket 3", hist2)
+	}
+}
+
+func TestPrintStats(t *testing.T) {
+	g, _ := GenerateRing(10)
+	var buf bytes.Buffer
+	PrintStats(&buf, ComputeStats(g))
+	for _, want := range []string{"vertices 10", "Gini", "compression widths"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestGiniEdgeCases(t *testing.T) {
+	if g := gini(nil, 0); g != 0 {
+		t.Errorf("empty gini = %v", g)
+	}
+	if g := gini([]uint64{0, 0}, 0); g != 0 {
+		t.Errorf("all-zero gini = %v", g)
+	}
+	// Extreme concentration: one vertex holds everything.
+	conc := gini([]uint64{0, 0, 0, 100}, 100)
+	if conc < 0.7 {
+		t.Errorf("concentrated gini = %v, want high", conc)
+	}
+}

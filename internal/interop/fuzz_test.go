@@ -1,0 +1,67 @@
+package interop
+
+import (
+	"testing"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+// FuzzJNIDispatch feeds arbitrary byte frames to the JNI boundary's
+// native-side dispatcher: it must never panic, only return failure
+// statuses — a guest bug must not crash the host runtime.
+func FuzzJNIDispatch(f *testing.F) {
+	ep := NewEntryPoints(memsim.New(machine.X52Small()))
+	h, err := ep.SmartArrayAllocate(64, 33, memsim.Interleaved, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = h
+	j := NewJNIBoundary(ep)
+
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{
+		1, 0, 0, 0, 3, 0, 0, 0,
+		1, 0, 0, 0, 0, 0, 0, 0, // handle 1
+		0, 0, 0, 0, 0, 0, 0, 0, // socket 0
+		5, 0, 0, 0, 0, 0, 0, 0, // index 5
+	})
+	f.Add([]byte{
+		1, 0, 0, 0, 3, 0, 0, 0,
+		1, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		255, 255, 255, 255, 255, 255, 255, 255, // index out of range
+	})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		res := j.dispatch(frame) // must not panic
+		if len(res) != 16 {
+			t.Fatalf("result frame length %d", len(res))
+		}
+	})
+}
+
+// TestEntryPointBoundsErrors: the scalar ABI returns errors for guest
+// mistakes instead of panicking.
+func TestEntryPointBoundsErrors(t *testing.T) {
+	ep := newEP()
+	h := allocFilled(t, ep, 32, 10)
+	if _, err := ep.SmartArrayGet(h, 0, 32); err == nil {
+		t.Error("out-of-range get should error")
+	}
+	if _, err := ep.SmartArrayGetBits(h, 0, 99, 10); err == nil {
+		t.Error("out-of-range getBits should error")
+	}
+	if err := ep.SmartArrayInit(h, 0, 99, 0); err == nil {
+		t.Error("out-of-range init should error")
+	}
+	if err := ep.SmartArrayInit(h, 0, 0, 1<<10); err == nil {
+		t.Error("oversized value should error")
+	}
+	if _, err := ep.IteratorNew(h, 0, 99); err == nil {
+		t.Error("out-of-range iterator should error")
+	}
+	if _, err := ep.SmartArrayGet(h, -1, 0); err == nil {
+		t.Error("negative socket should error")
+	}
+}

@@ -1,0 +1,184 @@
+package interop
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// JNIBoundary wraps the entry points behind a per-call marshalling
+// boundary reproducing the cost structure of real JNI (§1, Figure 3): each
+// call packs its arguments into a byte buffer, transitions into "native"
+// code that validates and decodes the frame, dispatches on a function ID,
+// executes, and packs the result back. None of this work is useful — it
+// exists because the two runtimes do not share a representation, which is
+// exactly the overhead the paper's Sulong path eliminates.
+//
+// A JNIBoundary is not safe for concurrent use; like a real JNIEnv it is
+// per-thread. CallsMade counts boundary crossings for tests and reports.
+type JNIBoundary struct {
+	ep        *EntryPoints
+	callBuf   [64]byte
+	resultBuf [16]byte
+	// CallsMade counts boundary crossings.
+	CallsMade uint64
+}
+
+// NewJNIBoundary creates a per-thread boundary over the entry points.
+func NewJNIBoundary(ep *EntryPoints) *JNIBoundary {
+	return &JNIBoundary{ep: ep}
+}
+
+// Function IDs in the marshalled frame.
+const (
+	fnGet uint32 = iota + 1
+	fnGetBits
+	fnInit
+	fnLength
+	fnBits
+	fnIterNew
+	fnIterGet
+	fnIterNext
+)
+
+// call packs a frame, crosses the boundary, and unpacks the result. The
+// frame layout is [fn:4][nargs:4][args:8 each]; the result is
+// [status:8][value:8].
+func (j *JNIBoundary) call(fn uint32, args ...uint64) (uint64, error) {
+	j.CallsMade++
+	buf := j.callBuf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, fn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(args)))
+	for _, a := range args {
+		buf = binary.LittleEndian.AppendUint64(buf, a)
+	}
+	res := j.dispatch(buf)
+	status := binary.LittleEndian.Uint64(res[0:8])
+	value := binary.LittleEndian.Uint64(res[8:16])
+	if status != 0 {
+		return 0, fmt.Errorf("interop: JNI call %d failed (status %d)", fn, status)
+	}
+	return value, nil
+}
+
+// dispatch is the "native side": it re-validates and decodes the frame,
+// then dispatches to the entry points.
+func (j *JNIBoundary) dispatch(frame []byte) []byte {
+	res := j.resultBuf[:]
+	fail := func() []byte {
+		binary.LittleEndian.PutUint64(res[0:8], 1)
+		binary.LittleEndian.PutUint64(res[8:16], 0)
+		return res
+	}
+	if len(frame) < 8 {
+		return fail()
+	}
+	fn := binary.LittleEndian.Uint32(frame[0:4])
+	nargs := binary.LittleEndian.Uint32(frame[4:8])
+	if len(frame) != 8+int(nargs)*8 {
+		return fail()
+	}
+	args := make([]uint64, nargs)
+	for i := range args {
+		args[i] = binary.LittleEndian.Uint64(frame[8+i*8:])
+	}
+	var value uint64
+	var err error
+	switch fn {
+	case fnGet:
+		if nargs != 3 {
+			return fail()
+		}
+		value, err = j.ep.SmartArrayGet(int64(args[0]), int(args[1]), args[2])
+	case fnGetBits:
+		if nargs != 4 {
+			return fail()
+		}
+		value, err = j.ep.SmartArrayGetBits(int64(args[0]), int(args[1]), args[2], uint(args[3]))
+	case fnInit:
+		if nargs != 4 {
+			return fail()
+		}
+		err = j.ep.SmartArrayInit(int64(args[0]), int(args[1]), args[2], args[3])
+	case fnLength:
+		if nargs != 1 {
+			return fail()
+		}
+		value, err = j.ep.SmartArrayLength(int64(args[0]))
+	case fnBits:
+		if nargs != 1 {
+			return fail()
+		}
+		var b uint
+		b, err = j.ep.SmartArrayBits(int64(args[0]))
+		value = uint64(b)
+	case fnIterNew:
+		if nargs != 3 {
+			return fail()
+		}
+		var h int64
+		h, err = j.ep.IteratorNew(int64(args[0]), int(args[1]), args[2])
+		value = uint64(h)
+	case fnIterGet:
+		if nargs != 1 {
+			return fail()
+		}
+		value, err = j.ep.IteratorGet(int64(args[0]))
+	case fnIterNext:
+		if nargs != 1 {
+			return fail()
+		}
+		err = j.ep.IteratorNext(int64(args[0]))
+	default:
+		return fail()
+	}
+	if err != nil {
+		return fail()
+	}
+	binary.LittleEndian.PutUint64(res[0:8], 0)
+	binary.LittleEndian.PutUint64(res[8:16], value)
+	return res
+}
+
+// Get reads one element across the boundary.
+func (j *JNIBoundary) Get(h int64, socket int, index uint64) (uint64, error) {
+	return j.call(fnGet, uint64(h), uint64(socket), index)
+}
+
+// GetBits reads one element via the bits-taking entry point.
+func (j *JNIBoundary) GetBits(h int64, socket int, index uint64, bits uint) (uint64, error) {
+	return j.call(fnGetBits, uint64(h), uint64(socket), index, uint64(bits))
+}
+
+// Init initializes one element across the boundary.
+func (j *JNIBoundary) Init(h int64, socket int, index, value uint64) error {
+	_, err := j.call(fnInit, uint64(h), uint64(socket), index, value)
+	return err
+}
+
+// Length reads the array length across the boundary.
+func (j *JNIBoundary) Length(h int64) (uint64, error) {
+	return j.call(fnLength, uint64(h))
+}
+
+// Bits reads the array width across the boundary.
+func (j *JNIBoundary) Bits(h int64) (uint, error) {
+	v, err := j.call(fnBits, uint64(h))
+	return uint(v), err
+}
+
+// IterNew allocates an iterator across the boundary.
+func (j *JNIBoundary) IterNew(h int64, socket int, index uint64) (int64, error) {
+	v, err := j.call(fnIterNew, uint64(h), uint64(socket), index)
+	return int64(v), err
+}
+
+// IterGet reads the iterator's current element across the boundary.
+func (j *JNIBoundary) IterGet(h int64) (uint64, error) {
+	return j.call(fnIterGet, uint64(h))
+}
+
+// IterNext advances the iterator across the boundary.
+func (j *JNIBoundary) IterNext(h int64) error {
+	_, err := j.call(fnIterNext, uint64(h))
+	return err
+}

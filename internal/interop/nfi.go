@@ -1,0 +1,88 @@
+package interop
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// NFIBoundary is the paper's third interoperability path (Figure 7):
+// Truffle's Native Function Interface, used to call precompiled native
+// libraries. Like JNI it marshals every call, but it additionally carries
+// a typed signature that is validated against the callee on every
+// invocation (the "pre- and post-processing" that makes NFI "the slowest
+// path", §3.2).
+//
+// The signature descriptor is re-encoded and checked per call — work a
+// Sulong-inlined call never does, which is the measurable difference the
+// reproduction preserves.
+type NFIBoundary struct {
+	jni *JNIBoundary
+	// CallsMade counts boundary crossings.
+	CallsMade uint64
+	sigBuf    [32]byte
+}
+
+// NewNFIBoundary creates a per-thread NFI boundary over the entry points.
+func NewNFIBoundary(ep *EntryPoints) *NFIBoundary {
+	return &NFIBoundary{jni: NewJNIBoundary(ep)}
+}
+
+// argType tags an argument in the signature descriptor.
+type argType uint8
+
+const (
+	argHandle argType = iota + 1
+	argInt
+	argUint
+)
+
+// signature encodes and validates a call signature descriptor, the NFI
+// pre-processing step.
+func (n *NFIBoundary) signature(types ...argType) ([]byte, error) {
+	buf := n.sigBuf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(types)))
+	for _, t := range types {
+		buf = append(buf, byte(t))
+	}
+	// Validation pass (the callee-side check).
+	if got := binary.LittleEndian.Uint32(buf[:4]); int(got) != len(types) {
+		return nil, fmt.Errorf("interop: corrupt NFI signature")
+	}
+	for i, t := range types {
+		if buf[4+i] != byte(t) {
+			return nil, fmt.Errorf("interop: NFI signature mismatch at arg %d", i)
+		}
+		if t < argHandle || t > argUint {
+			return nil, fmt.Errorf("interop: unknown NFI arg type %d", t)
+		}
+	}
+	return buf, nil
+}
+
+// Get reads one element through the NFI path: signature processing plus
+// the marshalled call.
+func (n *NFIBoundary) Get(h int64, socket int, index uint64) (uint64, error) {
+	n.CallsMade++
+	if _, err := n.signature(argHandle, argInt, argUint); err != nil {
+		return 0, err
+	}
+	return n.jni.Get(h, socket, index)
+}
+
+// Init writes one element through the NFI path.
+func (n *NFIBoundary) Init(h int64, socket int, index, value uint64) error {
+	n.CallsMade++
+	if _, err := n.signature(argHandle, argInt, argUint, argUint); err != nil {
+		return err
+	}
+	return n.jni.Init(h, socket, index, value)
+}
+
+// Length reads the array length through the NFI path.
+func (n *NFIBoundary) Length(h int64) (uint64, error) {
+	n.CallsMade++
+	if _, err := n.signature(argHandle); err != nil {
+		return 0, err
+	}
+	return n.jni.Length(h)
+}

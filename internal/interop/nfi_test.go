@@ -1,0 +1,55 @@
+package interop
+
+import (
+	"testing"
+
+	"smartarrays/internal/memsim"
+)
+
+func TestNFIRoundTrip(t *testing.T) {
+	ep := newEP()
+	h := allocFilled(t, ep, 64, 33)
+	nfi := NewNFIBoundary(ep)
+
+	if n, err := nfi.Length(h); err != nil || n != 64 {
+		t.Errorf("Length = %d, %v", n, err)
+	}
+	if v, err := nfi.Get(h, 0, 10); err != nil || v != 10 {
+		t.Errorf("Get = %d, %v", v, err)
+	}
+	if err := nfi.Init(h, 0, 10, 77); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := nfi.Get(h, 1, 10); v != 77 {
+		t.Errorf("after Init = %d, want 77", v)
+	}
+	if nfi.CallsMade != 4 {
+		t.Errorf("CallsMade = %d, want 4", nfi.CallsMade)
+	}
+}
+
+func TestNFIErrorsPropagate(t *testing.T) {
+	ep := newEP()
+	nfi := NewNFIBoundary(ep)
+	if _, err := nfi.Get(9999, 0, 0); err == nil {
+		t.Error("unknown handle should fail through NFI")
+	}
+}
+
+func TestNFISlowerThanDirect(t *testing.T) {
+	// Not a timing test (CI noise) — a work test: NFI does signature
+	// processing plus JNI marshalling for the same logical operation.
+	ep := newEP()
+	h, err := ep.SmartArrayAllocate(16, 64, memsim.Interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfi := NewNFIBoundary(ep)
+	if _, err := nfi.Get(h, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The embedded JNI boundary must have crossed too.
+	if nfi.jni.CallsMade != 1 {
+		t.Errorf("inner JNI crossings = %d, want 1", nfi.jni.CallsMade)
+	}
+}

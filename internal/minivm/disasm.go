@@ -1,0 +1,96 @@
+package minivm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassembly of guest programs, for debugging and program dumps.
+
+// opName returns the mnemonic for an opcode.
+func opName(op Op) string {
+	switch op {
+	case OpConst:
+		return "const"
+	case OpMove:
+		return "move"
+	case OpAdd:
+		return "add"
+	case OpAddImm:
+		return "addi"
+	case OpLoad:
+		return "load"
+	case OpIterGet:
+		return "iget"
+	case OpIterNext:
+		return "inext"
+	case OpLt:
+		return "lt"
+	case OpJnz:
+		return "jnz"
+	case OpJmp:
+		return "jmp"
+	case OpHalt:
+		return "halt"
+	case OpMul:
+		return "mul"
+	case OpSub:
+		return "sub"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpShr:
+		return "shr"
+	case OpJz:
+		return "jz"
+	case OpGtImm:
+		return "gti"
+	default:
+		return fmt.Sprintf("op%d", int(op))
+	}
+}
+
+// Disasm renders one instruction.
+func Disasm(in Instr) string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("const  r%d, %d", in.A, in.Imm)
+	case OpMove:
+		return fmt.Sprintf("move   r%d, r%d", in.A, in.B)
+	case OpAdd, OpMul, OpSub, OpAnd, OpOr, OpLt:
+		return fmt.Sprintf("%-6s r%d, r%d, r%d", opName(in.Op), in.A, in.B, in.C)
+	case OpAddImm:
+		return fmt.Sprintf("addi   r%d, r%d, %d", in.A, in.B, in.Imm)
+	case OpShr:
+		return fmt.Sprintf("shr    r%d, r%d, %d", in.A, in.B, in.Imm&63)
+	case OpGtImm:
+		return fmt.Sprintf("gti    r%d, r%d, %d", in.A, in.B, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load   r%d, arr%d[r%d]", in.A, in.B, in.C)
+	case OpIterGet:
+		return fmt.Sprintf("iget   r%d, it%d", in.A, in.B)
+	case OpIterNext:
+		return fmt.Sprintf("inext  it%d", in.B)
+	case OpJnz:
+		return fmt.Sprintf("jnz    r%d, @%d", in.A, in.Imm)
+	case OpJz:
+		return fmt.Sprintf("jz     r%d, @%d", in.A, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp    @%d", in.Imm)
+	case OpHalt:
+		return fmt.Sprintf("halt   r%d", in.A)
+	default:
+		return opName(in.Op)
+	}
+}
+
+// String renders the whole program with pc labels.
+func (p Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; arrays=%d iters=%d\n", p.Arrays, p.Iters)
+	for pc, in := range p.Code {
+		fmt.Fprintf(&sb, "%3d: %s\n", pc, Disasm(in))
+	}
+	return sb.String()
+}

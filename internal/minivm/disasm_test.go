@@ -1,0 +1,46 @@
+package minivm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisasmCoversEveryOpcode(t *testing.T) {
+	ops := []Op{
+		OpConst, OpMove, OpAdd, OpAddImm, OpLoad, OpIterGet, OpIterNext,
+		OpLt, OpJnz, OpJmp, OpHalt, OpMul, OpSub, OpAnd, OpOr, OpShr,
+		OpJz, OpGtImm,
+	}
+	for _, op := range ops {
+		s := Disasm(Instr{Op: op, A: 1, B: 2, C: 3, Imm: 4})
+		if s == "" || strings.HasPrefix(s, "op") {
+			t.Errorf("opcode %d not disassembled: %q", int(op), s)
+		}
+	}
+	// Unknown opcodes render a placeholder rather than panicking.
+	if s := Disasm(Instr{Op: Op(200)}); !strings.HasPrefix(s, "op200") {
+		t.Errorf("unknown opcode = %q", s)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	out := SumIterProgram(10).String()
+	for _, want := range []string{"; arrays=1 iters=1", "iget", "inext", "jnz", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program dump missing %q in:\n%s", want, out)
+		}
+	}
+	// Every pc appears as a label.
+	if !strings.Contains(out, "  0: const") {
+		t.Errorf("missing pc labels:\n%s", out)
+	}
+}
+
+func TestDisasmFilteredSum(t *testing.T) {
+	out := FilteredSumProgram(100, 7).String()
+	for _, want := range []string{"gti", "jz", "mul"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("filtered-sum dump missing %q", want)
+		}
+	}
+}

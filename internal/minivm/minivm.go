@@ -1,0 +1,331 @@
+// Package minivm is a small guest-language virtual machine standing in for
+// the paper's managed runtime (Java on the GraalVM, §2.4, §3.2).
+//
+// The paper's language-interoperability claim is about cost structures, not
+// about Java specifically: a guest language accessing native smart arrays
+// can be (a) slow but interoperable via JNI-style per-call marshalling,
+// (b) fast but not interoperable via unsafe raw memory access, or (c) both
+// fast and interoperable when the runtime can inline the native
+// implementation into guest code (GraalVM + Sulong). This VM reproduces all
+// three regimes with really-executed code:
+//
+//   - programs are register bytecode, run by a switch interpreter
+//     (Interpret) or a closure-threading compiler (Compile) — the
+//     interpreted/compiled tiers of a managed runtime;
+//   - array accesses go through a per-array binding whose AccessPath
+//     selects managed storage, the JNI boundary, raw unsafe words, or the
+//     inlined smart-array fast path;
+//   - Compile specializes array ops against the binding's profiled bit
+//     width, the analogue of GraalVM.profile(smartArray.getBits()) letting
+//     the JIT fold the width to a constant (§4.3).
+package minivm
+
+import (
+	"errors"
+	"fmt"
+
+	"smartarrays/internal/core"
+	"smartarrays/internal/interop"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. A/B/C are register indices unless stated otherwise.
+const (
+	// OpConst: regs[A] = Imm.
+	OpConst Op = iota
+	// OpMove: regs[A] = regs[B].
+	OpMove
+	// OpAdd: regs[A] = regs[B] + regs[C].
+	OpAdd
+	// OpAddImm: regs[A] = regs[B] + Imm.
+	OpAddImm
+	// OpLoad: regs[A] = arrays[B][regs[C]] via the binding's access path.
+	OpLoad
+	// OpIterGet: regs[A] = iterator B's current element.
+	OpIterGet
+	// OpIterNext: advance iterator B.
+	OpIterNext
+	// OpLt: regs[A] = 1 if regs[B] < regs[C] else 0.
+	OpLt
+	// OpJnz: if regs[A] != 0, jump to absolute pc Imm.
+	OpJnz
+	// OpJmp: jump to absolute pc Imm.
+	OpJmp
+	// OpHalt: stop; the value of regs[A] is the program result.
+	OpHalt
+)
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op      Op
+	A, B, C uint8
+	Imm     uint64
+}
+
+// NumRegs is the register file size.
+const NumRegs = 16
+
+// Program is a compiled unit: bytecode plus the array/iterator slot counts
+// it expects to be bound.
+type Program struct {
+	Code   []Instr
+	Arrays int
+	Iters  int
+}
+
+// AccessPath selects how the VM reaches an array (Figure 3's rows).
+type AccessPath int
+
+const (
+	// PathManaged: the array lives in the VM's own heap — the "plain Java
+	// array" baseline. No smart functionality.
+	PathManaged AccessPath = iota
+	// PathJNI: every access crosses the marshalled JNI boundary.
+	PathJNI
+	// PathUnsafe: raw access to the native words. Fast, but bypasses
+	// replica selection and decompression — only valid for uncompressed
+	// single-copy arrays, exactly the paper's criticism.
+	PathUnsafe
+	// PathSmart: the inlined smart-array path — native logic compiled
+	// together with guest code, with the bit width profiled to a constant.
+	PathSmart
+)
+
+// String names the path as in Figure 3.
+func (p AccessPath) String() string {
+	switch p {
+	case PathManaged:
+		return "managed"
+	case PathJNI:
+		return "jni"
+	case PathUnsafe:
+		return "unsafe"
+	case PathSmart:
+		return "smartarray"
+	default:
+		return fmt.Sprintf("AccessPath(%d)", int(p))
+	}
+}
+
+// ArrayBinding connects a program's array slot to storage via some path.
+type ArrayBinding struct {
+	Path AccessPath
+	// Managed is the VM-heap storage for PathManaged.
+	Managed []uint64
+	// Handle plus EP serve PathJNI and PathSmart; JNI is the per-thread
+	// boundary for PathJNI.
+	Handle int64
+	EP     *interop.EntryPoints
+	JNI    *interop.JNIBoundary
+	// Unsafe is the raw word slice for PathUnsafe.
+	Unsafe []uint64
+	// Socket is the reader's socket for replica selection.
+	Socket int
+}
+
+// VM executes programs against bound arrays.
+type VM struct {
+	prog     Program
+	bindings []*ArrayBinding
+	iters    []iterState
+	regs     [NumRegs]uint64
+}
+
+type iterState struct {
+	binding *ArrayBinding
+	// native iterator for PathSmart (inlined) — concrete type captured at
+	// bind time so compiled code can fuse it.
+	it core.Iterator
+	// handle for PathJNI.
+	handle int64
+	// position for PathManaged / PathUnsafe.
+	pos uint64
+}
+
+// New creates a VM for the program with the given array bindings. Iterator
+// slots are created with Bind Iter.
+func New(prog Program, bindings []*ArrayBinding) (*VM, error) {
+	if len(bindings) != prog.Arrays {
+		return nil, fmt.Errorf("minivm: program wants %d arrays, got %d bindings", prog.Arrays, len(bindings))
+	}
+	for i, b := range bindings {
+		if err := validateBinding(b); err != nil {
+			return nil, fmt.Errorf("minivm: binding %d: %w", i, err)
+		}
+	}
+	return &VM{prog: prog, bindings: bindings, iters: make([]iterState, prog.Iters)}, nil
+}
+
+func validateBinding(b *ArrayBinding) error {
+	switch b.Path {
+	case PathManaged:
+		if b.Managed == nil {
+			return errors.New("managed path needs Managed storage")
+		}
+	case PathJNI:
+		if b.EP == nil || b.JNI == nil || b.Handle == 0 {
+			return errors.New("jni path needs EP, JNI and Handle")
+		}
+	case PathUnsafe:
+		if b.Unsafe == nil {
+			return errors.New("unsafe path needs raw words")
+		}
+	case PathSmart:
+		if b.EP == nil || b.Handle == 0 {
+			return errors.New("smartarray path needs EP and Handle")
+		}
+	default:
+		return fmt.Errorf("unknown path %d", b.Path)
+	}
+	return nil
+}
+
+// BindIter attaches iterator slot slot to array slot arraySlot starting at
+// index.
+func (vm *VM) BindIter(slot, arraySlot int, index uint64) error {
+	if slot < 0 || slot >= len(vm.iters) {
+		return fmt.Errorf("minivm: iterator slot %d out of range", slot)
+	}
+	if arraySlot < 0 || arraySlot >= len(vm.bindings) {
+		return fmt.Errorf("minivm: array slot %d out of range", arraySlot)
+	}
+	b := vm.bindings[arraySlot]
+	st := iterState{binding: b, pos: index}
+	switch b.Path {
+	case PathSmart:
+		a, err := b.EP.ResolveArray(b.Handle)
+		if err != nil {
+			return err
+		}
+		st.it = core.NewIterator(a, b.Socket, index)
+	case PathJNI:
+		h, err := b.JNI.IterNew(b.Handle, b.Socket, index)
+		if err != nil {
+			return err
+		}
+		st.handle = h
+	}
+	vm.iters[slot] = st
+	return nil
+}
+
+// load reads arrays[slot][idx] through the binding's path.
+func (vm *VM) load(slot int, idx uint64) (uint64, error) {
+	b := vm.bindings[slot]
+	switch b.Path {
+	case PathManaged:
+		return b.Managed[idx], nil
+	case PathJNI:
+		return b.JNI.Get(b.Handle, b.Socket, idx)
+	case PathUnsafe:
+		return b.Unsafe[idx], nil
+	default: // PathSmart
+		a, err := b.EP.ResolveArray(b.Handle)
+		if err != nil {
+			return 0, err
+		}
+		return a.GetFrom(b.Socket, idx), nil
+	}
+}
+
+func (vm *VM) iterGet(slot int) (uint64, error) {
+	st := &vm.iters[slot]
+	if st.binding == nil {
+		return 0, fmt.Errorf("minivm: iterator slot %d unbound", slot)
+	}
+	switch st.binding.Path {
+	case PathSmart:
+		return st.it.Get(), nil
+	case PathJNI:
+		return st.binding.JNI.IterGet(st.handle)
+	case PathManaged:
+		return st.binding.Managed[st.pos], nil
+	default: // PathUnsafe
+		return st.binding.Unsafe[st.pos], nil
+	}
+}
+
+func (vm *VM) iterNext(slot int) error {
+	st := &vm.iters[slot]
+	if st.binding == nil {
+		return fmt.Errorf("minivm: iterator slot %d unbound", slot)
+	}
+	switch st.binding.Path {
+	case PathSmart:
+		st.it.Next()
+	case PathJNI:
+		return st.binding.JNI.IterNext(st.handle)
+	default:
+		st.pos++
+	}
+	return nil
+}
+
+// Interpret runs the program on the interpreter tier and returns the halt
+// register's value.
+func (vm *VM) Interpret() (uint64, error) {
+	pc := 0
+	code := vm.prog.Code
+	for pc >= 0 && pc < len(code) {
+		in := &code[pc]
+		switch in.Op {
+		case OpConst:
+			vm.regs[in.A] = in.Imm
+			pc++
+		case OpMove:
+			vm.regs[in.A] = vm.regs[in.B]
+			pc++
+		case OpAdd:
+			vm.regs[in.A] = vm.regs[in.B] + vm.regs[in.C]
+			pc++
+		case OpAddImm:
+			vm.regs[in.A] = vm.regs[in.B] + in.Imm
+			pc++
+		case OpLoad:
+			v, err := vm.load(int(in.B), vm.regs[in.C])
+			if err != nil {
+				return 0, err
+			}
+			vm.regs[in.A] = v
+			pc++
+		case OpIterGet:
+			v, err := vm.iterGet(int(in.B))
+			if err != nil {
+				return 0, err
+			}
+			vm.regs[in.A] = v
+			pc++
+		case OpIterNext:
+			if err := vm.iterNext(int(in.B)); err != nil {
+				return 0, err
+			}
+			pc++
+		case OpLt:
+			if vm.regs[in.B] < vm.regs[in.C] {
+				vm.regs[in.A] = 1
+			} else {
+				vm.regs[in.A] = 0
+			}
+			pc++
+		case OpJnz:
+			if vm.regs[in.A] != 0 {
+				pc = int(in.Imm)
+			} else {
+				pc++
+			}
+		case OpJmp:
+			pc = int(in.Imm)
+		case OpHalt:
+			return vm.regs[in.A], nil
+		default:
+			next, ok := vm.interpretExt(in, pc)
+			if !ok {
+				return 0, fmt.Errorf("minivm: illegal opcode %d at pc %d", in.Op, pc)
+			}
+			pc = next
+		}
+	}
+	return 0, errors.New("minivm: fell off program end")
+}

@@ -1,0 +1,102 @@
+package perfmodel
+
+// Instruction-cost model for the scan kernels, in modeled instructions per
+// element. These constants are the calibration knobs described in DESIGN.md
+// §5: they are fixed once against the paper's Figure 2 / Figure 10 regimes
+// and then reused unchanged by every experiment.
+//
+// The qualitative requirements they encode (paper §4.2, §5.1):
+//   - uncompressed scans are a handful of instructions per element, so scans
+//     saturate memory bandwidth;
+//   - bit-compressed accesses add a width-dependent shift/mask/branch load
+//     ("each processed element needs to be ... decompressed to 64 bits"),
+//     large enough that the 8-core machine cannot hide it behind its memory
+//     bandwidth but the 18-core machine can.
+const (
+	// CostScanU64 is instructions per element for an uncompressed 64-bit
+	// iterator step (load, add, advance).
+	CostScanU64 = 3.0
+	// CostScanU32 is instructions per element for the specialized 32-bit
+	// iterator (load, shift/mask, add, advance).
+	CostScanU32 = 4.0
+	// CostRandomGet is the extra instructions for a random (non-iterator)
+	// uncompressed access: address computation plus the load.
+	CostRandomGet = 4.0
+	// costUnpackBase/costUnpackPerBit parameterize the chunk-unpack cost of
+	// a bit-compressed element: a base of shift/mask/branch work plus a
+	// width-dependent term for the cross-word combines.
+	costUnpackBase   = 9.0
+	costUnpackPerBit = 0.25
+	// CostInitU64 is instructions per element to initialize an
+	// uncompressed element; compressed init adds the pack cost.
+	CostInitU64 = 2.0
+)
+
+// CostScan returns the modeled instructions per element for sequentially
+// iterating a smart array stored at the given width. Widths 32 and 64 use
+// the specialized uncompressed iterators (paper §4.3); everything else pays
+// the chunk-unpack cost.
+func CostScan(bits uint) float64 {
+	switch bits {
+	case 64:
+		return CostScanU64
+	case 32:
+		return CostScanU32
+	default:
+		return costUnpackBase + costUnpackPerBit*float64(bits)
+	}
+}
+
+// CostGet returns the modeled instructions for one random Get at the given
+// width: Function 1's shift/mask work, doubled when elements can straddle
+// two words.
+func CostGet(bits uint) float64 {
+	switch bits {
+	case 64, 32:
+		return CostRandomGet
+	default:
+		return CostRandomGet + 6
+	}
+}
+
+// CostInit returns the modeled instructions per element for initializing at
+// the given width (Function 2), per replica written.
+func CostInit(bits uint) float64 {
+	switch bits {
+	case 64, 32:
+		return CostInitU64
+	default:
+		return CostInitU64 + 6
+	}
+}
+
+// CacheLineBytes is the transfer granularity of the modeled memory system.
+const CacheLineBytes = 64
+
+// RandomReadBytes estimates the effective DRAM bytes per random element
+// read of elemBytes from an array of arrayBytes, given llcBytes of
+// last-level cache reachable by the reading thread. Each miss pulls a full
+// cache line; the hit fraction is the cached share of the array, boosted by
+// localityBoost for skewed (e.g. power-law) access distributions where hot
+// elements stay resident.
+func RandomReadBytes(arrayBytes, elemBytes, llcBytes float64, localityBoost float64) float64 {
+	if arrayBytes <= 0 {
+		return 0
+	}
+	hit := llcBytes / arrayBytes * localityBoost
+	if hit > 1 {
+		hit = 1
+	}
+	miss := 1 - hit
+	eff := miss * CacheLineBytes
+	if eff < elemBytes {
+		eff = elemBytes
+	}
+	return eff
+}
+
+// PowerLawLocalityBoost is the calibration constant for rank-style gathers
+// over power-law graphs: community structure and hub vertices keep hot
+// cache lines resident far beyond the uniform-probability estimate. See
+// EXPERIMENTS.md (PageRank calibration).
+const PowerLawLocalityBoost = 6.0

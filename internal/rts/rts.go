@@ -1,0 +1,185 @@
+// Package rts is the reproduction's Callisto-RTS (§2.2): a runtime system
+// for fine-grained parallel loops over a pool of socket-pinned workers.
+//
+// Callisto-RTS distributes loop iterations dynamically between worker
+// threads in small batches, so fast threads (e.g. those local to the data)
+// naturally absorb more work. Here every simulated hardware thread of the
+// declared machine gets a Worker; batches are claimed from per-socket
+// stripes with an atomic cursor, which keeps cross-socket work attribution
+// deterministic (socket stripes are round-robin) while remaining dynamic
+// within each socket — the property the counter fabric and the performance
+// model rely on.
+//
+// Each Worker owns a private counters.Shard, so loop bodies account traffic
+// and instructions without synchronization.
+package rts
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"smartarrays/internal/counters"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+// DefaultGrain is the default batch size (loop iterations per work claim).
+// Callisto uses small batches for fine-grained balancing; 2048 keeps the
+// claim overhead negligible for element-wise loop bodies.
+const DefaultGrain = 2048
+
+// Worker is one simulated hardware thread context.
+type Worker struct {
+	// ID is the hardware thread ID in [0, spec.HWThreads()).
+	ID int
+	// Socket is the NUMA node this worker is pinned to.
+	Socket int
+	// Counters is the worker-private counter shard.
+	Counters *counters.Shard
+}
+
+// Runtime owns the worker pool, the counter fabric, and the simulated
+// memory of one machine.
+type Runtime struct {
+	spec    *machine.Spec
+	fabric  *counters.Fabric
+	mem     *memsim.Memory
+	workers []*Worker
+	// hostPar caps the number of concurrently running goroutines; simulated
+	// workers beyond it share host threads (performance is modeled, so host
+	// oversubscription does not distort results).
+	hostPar int
+}
+
+// New creates a runtime for the given machine with one worker per hardware
+// thread.
+func New(spec *machine.Spec) *Runtime {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Runtime{
+		spec:    spec,
+		fabric:  counters.NewFabric(spec.Sockets),
+		mem:     memsim.New(spec),
+		hostPar: runtime.GOMAXPROCS(0),
+	}
+	for id := 0; id < spec.HWThreads(); id++ {
+		r.workers = append(r.workers, &Worker{
+			ID:       id,
+			Socket:   spec.SocketOf(id),
+			Counters: r.fabric.NewShard(spec.SocketOf(id)),
+		})
+	}
+	return r
+}
+
+// Spec returns the machine this runtime simulates.
+func (r *Runtime) Spec() *machine.Spec { return r.spec }
+
+// Fabric returns the counter fabric (for snapshots around measured phases).
+func (r *Runtime) Fabric() *counters.Fabric { return r.fabric }
+
+// Memory returns the simulated NUMA memory.
+func (r *Runtime) Memory() *memsim.Memory { return r.mem }
+
+// Workers returns the worker pool (read-only use).
+func (r *Runtime) Workers() []*Worker { return r.workers }
+
+// Worker returns the worker for hardware thread id.
+func (r *Runtime) Worker(id int) *Worker { return r.workers[id] }
+
+// ParallelFor executes body over every index range covering [begin, end),
+// distributing batches of about grain iterations dynamically among all
+// workers. Batches are striped round-robin across sockets; within a socket
+// they are claimed dynamically. body may be called concurrently from many
+// goroutines; each call receives the claiming worker (for replica selection
+// and counter accounting) and a half-open sub-range.
+//
+// grain <= 0 selects DefaultGrain.
+func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worker, lo, hi uint64)) {
+	if begin >= end {
+		return
+	}
+	g := uint64(grain)
+	if grain <= 0 {
+		g = DefaultGrain
+	}
+	total := end - begin
+	numBatches := (total + g - 1) / g
+	sockets := uint64(r.spec.Sockets)
+
+	if numBatches == 1 {
+		body(r.workers[0], begin, end)
+		return
+	}
+
+	// Per-socket cursors over the batch stripes: socket s owns batches
+	// s, s+sockets, s+2*sockets, ...
+	cursors := make([]atomic.Uint64, sockets)
+
+	run := func(w *Worker) {
+		s := uint64(w.Socket)
+		for {
+			k := cursors[s].Add(1) - 1 // k-th batch of this socket's stripe
+			batch := k*sockets + s
+			if batch >= numBatches {
+				// Stripe exhausted. Real Callisto would steal from other
+				// sockets here; this reproduction deliberately does not:
+				// performance comes from the model (which already solves
+				// for the balanced split), and on an oversubscribed host
+				// stealing would let the first-scheduled worker drain
+				// other sockets' stripes and corrupt the per-socket
+				// counter attribution the model consumes.
+				return
+			}
+			lo := begin + batch*g
+			hi := lo + g
+			if hi > end {
+				hi = end
+			}
+			body(w, lo, hi)
+		}
+	}
+
+	// Launch one goroutine per simulated worker, bounded by a host-level
+	// semaphore so a 72-thread machine does not swamp a small host.
+	sem := make(chan struct{}, r.hostPar)
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// SequentialFor runs body on a single worker over the whole range — the
+// single-threaded baseline used by Figure 3's experiments. thread selects
+// the simulated hardware thread.
+func (r *Runtime) SequentialFor(thread int, begin, end uint64, body func(w *Worker, lo, hi uint64)) {
+	if thread < 0 || thread >= len(r.workers) {
+		panic(fmt.Sprintf("rts: thread %d out of range", thread))
+	}
+	if begin < end {
+		body(r.workers[thread], begin, end)
+	}
+}
+
+// ReduceSum is a convenience wrapper for the paper's canonical aggregation
+// pattern: each worker computes a local sum over its batches and the
+// partial sums are combined at the end (one atomic per worker, not per
+// batch — matching Callisto's "local sum, atomically incremented at the end
+// of each loop batch" description at batch granularity).
+func (r *Runtime) ReduceSum(begin, end uint64, grain int64, body func(w *Worker, lo, hi uint64) uint64) uint64 {
+	var total atomic.Uint64
+	r.ParallelFor(begin, end, grain, func(w *Worker, lo, hi uint64) {
+		total.Add(body(w, lo, hi))
+	})
+	return total.Load()
+}

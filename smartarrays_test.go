@@ -1,0 +1,171 @@
+package smartarrays
+
+import (
+	"testing"
+
+	"smartarrays/internal/graph"
+)
+
+func TestSystemAllocateAndSum(t *testing.T) {
+	sys := NewSystem(LargeMachine())
+	arr, err := sys.Allocate(Config{Length: 10_000, Bits: 33, Placement: Replicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Free()
+	var want uint64
+	for i := uint64(0); i < arr.Length(); i++ {
+		arr.Init(0, i, i)
+		want += i
+	}
+	if got := sys.SumArray(arr); got != want {
+		t.Errorf("SumArray = %d, want %d", got, want)
+	}
+	if got := SumRange(arr, 1, 0, arr.Length()); got != want {
+		t.Errorf("SumRange = %d, want %d", got, want)
+	}
+}
+
+func TestAllocateForAndMinBits(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	arr, err := sys.AllocateFor([]uint64{3, 1, 1023}, Interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Free()
+	if arr.Bits() != 10 {
+		t.Errorf("Bits = %d, want 10", arr.Bits())
+	}
+	if MinBits(1023) != 10 || MinBits(1024) != 11 {
+		t.Error("MinBits wrong")
+	}
+}
+
+func TestIteratorAndMapFacade(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	arr, err := sys.Allocate(Config{Length: 256, Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Free()
+	for i := uint64(0); i < 256; i++ {
+		arr.Init(0, i, i)
+	}
+	it := NewIterator(arr, 0, 100)
+	if it.Get() != 100 {
+		t.Errorf("iterator at 100 = %d", it.Get())
+	}
+	var sum uint64
+	Map(arr, 0, 0, 256, func(i, v uint64) { sum += v })
+	if sum != 255*256/2 {
+		t.Errorf("Map sum = %d", sum)
+	}
+}
+
+func TestSystemGraphAnalytics(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	g, err := graph.GenerateUniform(300, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sys.NewSmartGraph(g, GraphLayout{Placement: Replicated, CompressEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Free()
+
+	deg, err := sys.DegreeCentrality(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deg.Free()
+	if got := deg.GetFrom(0, 5); got != g.OutDegree(5)+g.InDegree(5) {
+		t.Errorf("degree(5) = %d", got)
+	}
+
+	cfg := PageRankConfig{Damping: 0.85, Tol: 1e-3, MaxIters: 50}
+	ranks, iters, err := sys.PageRank(sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 || len(ranks) != 300 {
+		t.Errorf("PageRank returned %d iters, %d ranks", iters, len(ranks))
+	}
+
+	levels, err := sys.BFS(sg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0] != 0 {
+		t.Errorf("BFS source level = %d", levels[0])
+	}
+}
+
+func TestSystemRecommend(t *testing.T) {
+	sys := NewSystem(LargeMachine())
+	prof := sys.ProfileScanWorkload(1<<28, 10, 33)
+	c := sys.Recommend(Traits{
+		ReadOnly:                         true,
+		MostlyReads:                      true,
+		MultipleLinearAccessesPerElement: true,
+	}, prof)
+	// On the 18-core machine, the policy should pick a compressed
+	// configuration (spare compute hides decompression).
+	if !c.Compressed {
+		t.Errorf("18-core recommendation = %v, want compression", c)
+	}
+
+	small := NewSystem(SmallMachine())
+	c2 := small.Recommend(Traits{
+		ReadOnly:                         true,
+		MostlyReads:                      true,
+		MultipleLinearAccessesPerElement: true,
+	}, small.ProfileScanWorkload(1<<28, 10, 33))
+	if c2.Compressed {
+		t.Errorf("8-core recommendation = %v, want no compression", c2)
+	}
+	if c2.Placement != Replicated {
+		t.Errorf("8-core placement = %v, want replicated", c2.Placement)
+	}
+}
+
+func TestEntryPointsFacade(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	h, err := sys.EntryPoints().SmartArrayAllocate(64, 33, Interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EntryPoints().SmartArrayInit(h, 0, 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sys.EntryPoints().SmartArrayGet(h, 0, 3); v != 42 {
+		t.Errorf("entry point get = %d", v)
+	}
+	if err := sys.EntryPoints().SmartArrayFree(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillArrayParallelAndFirstTouch(t *testing.T) {
+	sys := NewSystem(SmallMachine())
+	arr, err := sys.Allocate(Config{Length: 1 << 16, Bits: 33, Placement: OSDefault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Free()
+	sys.FillArray(arr, func(i uint64) uint64 { return (i * 3) & ((1 << 33) - 1) })
+	for _, i := range []uint64{0, 1, 1 << 10, 1<<16 - 1} {
+		if got := arr.GetFrom(0, i); got != (i*3)&((1<<33)-1) {
+			t.Fatalf("elem %d = %d", i, got)
+		}
+	}
+	// Multi-threaded first touch spreads pages across both sockets.
+	region := arr.Region()
+	homes := map[int]bool{}
+	for w := uint64(0); w < arr.WordOf(arr.Length()-1); w += 512 {
+		homes[region.HomeSocket(w, 0)] = true
+	}
+	if len(homes) != 2 {
+		t.Errorf("multi-threaded fill touched %d socket(s), want 2", len(homes))
+	}
+}

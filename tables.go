@@ -1,0 +1,43 @@
+package smartarrays
+
+import (
+	"smartarrays/internal/colstore"
+)
+
+// Column-store layer (the paper's §5.1 database-analytics motivation):
+// tables of bit-compressed smart-array columns with parallel filtered
+// aggregation and group-by.
+type (
+	// Table is a fixed-length collection of packed columns.
+	Table = colstore.Table
+	// TableOptions configure column placement.
+	TableOptions = colstore.Options
+	// Pred is a column-versus-constant predicate.
+	Pred = colstore.Pred
+	// GroupRow is one group-by output row.
+	GroupRow = colstore.GroupRow
+)
+
+// Comparison operators for predicates.
+const (
+	Eq = colstore.Eq
+	Ne = colstore.Ne
+	Lt = colstore.Lt
+	Le = colstore.Le
+	Gt = colstore.Gt
+	Ge = colstore.Ge
+)
+
+// Aggregate functions.
+const (
+	Sum   = colstore.Sum
+	Count = colstore.Count
+	Min   = colstore.Min
+	Max   = colstore.Max
+)
+
+// NewTable creates an empty table with the given row count on this
+// system's runtime.
+func (s *System) NewTable(rows uint64) (*Table, error) {
+	return colstore.NewTable(s.rt, rows)
+}
