@@ -1,0 +1,50 @@
+# Single entry point for local runs and CI (.github/workflows/ci.yml calls
+# these targets, so the two can never drift).
+
+GO ?= go
+FUZZTIME ?= 10s
+# Allowed ns/op regression (percent) for the bench gate.
+MAX_REGRESS ?= 25
+
+.PHONY: all build test race fmt vet fuzz-smoke bench-smoke bench-baseline ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Run every fuzz target briefly so corpus regressions surface in PRs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/bitpack
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzJNIDispatch$$' -fuzztime $(FUZZTIME) ./internal/interop
+
+# Bench gate: regenerate the Figure 2 smoke report and diff its modeled
+# ns/op against the checked-in baseline. The model is deterministic, so
+# any drift is a real change. Override with BENCH_GATE_OVERRIDE=1 (or the
+# "perf-intentional" PR label in CI), or regenerate the baseline with
+# `make bench-baseline` when the change is intentional.
+bench-smoke:
+	$(GO) run ./cmd/sabench -fig 2 -elements 65536 -metrics-out bench_report.json
+	$(GO) run ./cmd/sagate -baseline bench_baseline.json -current bench_report.json -max-regress-pct $(MAX_REGRESS)
+
+bench-baseline:
+	$(GO) run ./cmd/sabench -fig 2 -elements 65536 -metrics-out bench_baseline.json
+
+# Everything CI runs, in one shot.
+ci: build vet fmt test race fuzz-smoke bench-smoke

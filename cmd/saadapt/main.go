@@ -4,9 +4,16 @@
 // trade-off matrix; with -multi it demonstrates the multi-array extension
 // (the joint placement the paper lists as future work) on the PageRank
 // array set.
+//
+// Observability: -trace writes one structured decision event per
+// adaptivity step (candidate set, profiled counter inputs, chosen
+// configuration, estimated vs realized cost) as JSONL; -metrics-out
+// writes the recorder's aggregate metrics; -pprof/-cpuprofile/-memprofile
+// profile the evaluation itself.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,28 +21,47 @@ import (
 	"smartarrays/internal/adapt"
 	"smartarrays/internal/bench"
 	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print every decision in the grid")
 	table2 := flag.Bool("table2", false, "print Table 2 (trade-offs) and exit")
 	multi := flag.Bool("multi", false, "demonstrate multi-array joint placement (PageRank array set)")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
+	exitOn(of.Start())
+
+	var rec *obs.Recorder
+	if of.Active() {
+		rec = obs.NewRecorder(0)
+	}
 
 	switch {
 	case *table2:
 		bench.PrintTable2(os.Stdout)
 	case *multi:
-		runMulti()
+		runMulti(rec)
 	default:
-		rep := bench.RunAdaptivity()
+		rep := bench.RunAdaptivityRecorded(rec)
 		bench.PrintAdaptReport(os.Stdout, rep, *verbose)
 	}
+
+	if of.MetricsOut != "" {
+		f, err := os.Create(of.MetricsOut)
+		exitOn(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(rec.Metrics()))
+		exitOn(f.Close())
+	}
+	exitOn(of.Finish(rec))
 }
 
 // runMulti jointly places the PageRank arrays (Twitter scale) on the
 // 8-core machine at several memory budgets.
-func runMulti() {
+func runMulti(rec *obs.Recorder) {
 	spec := machine.X52Small()
 	usages := []adapt.ArrayUsage{
 		{Name: "ranks", PayloadBytes: 336e6, RandomBytes: 62e9, ScanBytes: 0.34e9, ReadOnly: true},
@@ -47,11 +73,18 @@ func runMulti() {
 	const instr = 50e9
 	fmt.Printf("Multi-array placement for PageRank on %s (one iteration)\n", spec.Name)
 	for _, budget := range []uint64{128 << 30, 7 << 30, 4 << 30} {
-		ds, res := adapt.DecideMulti(spec, budget, instr, usages)
+		ds, res := adapt.DecideMultiRecorded(spec, budget, instr, usages, rec)
 		fmt.Printf("  memory budget %3d GB/socket -> %.0f ms/iter, bottleneck %s\n",
 			budget>>30, res.Seconds*1e3, res.Bottleneck)
 		for _, d := range ds {
 			fmt.Printf("      %s\n", d)
 		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saadapt:", err)
+		os.Exit(1)
 	}
 }

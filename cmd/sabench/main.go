@@ -7,6 +7,11 @@
 // Each run really executes the workload at -elements per array on the
 // simulated machine (verifying the sums) and models the paper-scale (4 GB
 // per array) run with the calibrated performance model.
+//
+// Observability: -metrics-out writes the machine-readable
+// bench_report.json (the CI bench gate's input), -trace writes the
+// structured event log (RTS loop statistics, counter snapshots) as JSONL,
+// and -pprof/-cpuprofile/-memprofile profile the harness itself.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"smartarrays/internal/bench"
+	"smartarrays/internal/obs"
 )
 
 func main() {
@@ -22,9 +28,19 @@ func main() {
 	elements := flag.Uint64("elements", 1<<20, "elements per array for the real run")
 	verify := flag.Bool("verify", true, "verify real runs against plain references")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
+	exitOn(of.Start())
 
-	opts := bench.Options{Elements: *elements, GraphVertices: 1000, Verify: *verify}
+	var rec *obs.Recorder
+	if of.Active() {
+		rec = obs.NewRecorder(0)
+	}
+	opts := bench.Options{Elements: *elements, GraphVertices: 1000, Verify: *verify, Recorder: rec}
+	tool := fmt.Sprintf("sabench -fig %d", *fig)
+
+	var report *obs.BenchReport
 	switch *fig {
 	case 2:
 		rows, err := bench.RunFigure2(opts)
@@ -32,20 +48,32 @@ func main() {
 		bench.PrintAggTable(os.Stdout,
 			"Figure 2: parallel aggregation, 18-core machine (paper: 201/43 -> 122/71 -> 109/80 -> 62/73)", rows)
 		exitOn(writeCSV(*csvPath, func(f *os.File) error { return bench.WriteAggCSV(f, rows) }))
+		report = bench.AggBenchReport(tool, rows)
 	case 3:
 		rows, err := bench.RunFigure3(opts)
 		exitOn(err)
 		bench.PrintInteropTable(os.Stdout, rows)
 		exitOn(writeCSV(*csvPath, func(f *os.File) error { return bench.WriteInteropCSV(f, rows) }))
+		report = bench.InteropBenchReport(tool, rows)
 	case 10:
 		rows, err := bench.RunFigure10(opts)
 		exitOn(err)
 		bench.PrintAggTable(os.Stdout, "Figure 10: aggregation sweep (bits x placement x language x machine)", rows)
 		exitOn(writeCSV(*csvPath, func(f *os.File) error { return bench.WriteAggCSV(f, rows) }))
+		report = bench.AggBenchReport(tool, rows)
 	default:
 		fmt.Fprintf(os.Stderr, "sabench: unknown figure %d (want 2, 3, or 10)\n", *fig)
 		os.Exit(2)
 	}
+
+	if of.MetricsOut != "" {
+		if rec != nil {
+			m := rec.Metrics()
+			report.Metrics = &m
+		}
+		exitOn(report.WriteFile(of.MetricsOut))
+	}
+	exitOn(of.Finish(rec))
 }
 
 func writeCSV(path string, fn func(*os.File) error) error {

@@ -1,0 +1,61 @@
+// Command sagate is the CI bench gate: it compares a freshly generated
+// bench_report.json against a checked-in baseline and fails (exit 1) when
+// any baseline row's ns/op regressed beyond the allowed ratio or went
+// missing. The modeled ns/op is deterministic for a given calibration, so
+// the gate is reproducible — any drift is a real change to the model, the
+// workload descriptors, or the harness.
+//
+//	sagate -baseline bench_baseline.json -current bench_report.json
+//
+// Intentional performance changes are landed by either regenerating the
+// baseline in the same PR or setting BENCH_GATE_OVERRIDE=1 (CI sets it
+// when the PR carries the "perf-intentional" label), which reports the
+// regressions but exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartarrays/internal/obs"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "checked-in baseline report")
+	currentPath := flag.String("current", "bench_report.json", "freshly generated report")
+	maxRegress := flag.Float64("max-regress-pct", 25, "allowed ns/op regression in percent")
+	flag.Parse()
+
+	baseline, err := obs.ReadBenchReportFile(*baselinePath)
+	exitOn(err)
+	current, err := obs.ReadBenchReportFile(*currentPath)
+	exitOn(err)
+
+	maxRatio := 1 + *maxRegress/100
+	regressions := obs.Compare(baseline, current, maxRatio)
+	if len(regressions) == 0 {
+		fmt.Printf("sagate: OK — %d baseline rows within %.0f%% of baseline ns/op\n",
+			len(baseline.Rows), *maxRegress)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "sagate: %d regression(s) beyond %.0f%% against %s:\n",
+		len(regressions), *maxRegress, *baselinePath)
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	if os.Getenv("BENCH_GATE_OVERRIDE") != "" {
+		fmt.Fprintln(os.Stderr, "sagate: BENCH_GATE_OVERRIDE set — reporting only, not failing")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "sagate: regenerate bench_baseline.json if intentional, or set BENCH_GATE_OVERRIDE=1")
+	os.Exit(1)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagate:", err)
+		os.Exit(1)
+	}
+}

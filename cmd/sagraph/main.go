@@ -8,6 +8,11 @@
 // degree centrality, Twitter-like power law for PageRank) and are verified
 // against plain references; the model evaluates the paper-scale datasets
 // (1.5G vertices / 42M-vertex 1.5G-edge Twitter).
+//
+// Observability: -metrics-out writes the machine-readable
+// bench_report.json, -trace the structured event log (RTS loop
+// statistics) as JSONL, and -pprof/-cpuprofile/-memprofile profile the
+// harness itself.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"smartarrays/internal/bench"
 	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
 )
 
 func main() {
@@ -24,9 +30,19 @@ func main() {
 	vertices := flag.Uint64("vertices", 20000, "vertices for the real (verified) run")
 	verify := flag.Bool("verify", true, "verify real runs against plain references")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
+	exitOn(of.Start())
 
-	opts := bench.Options{Elements: 1 << 18, GraphVertices: *vertices, Verify: *verify}
+	var rec *obs.Recorder
+	if of.Active() {
+		rec = obs.NewRecorder(0)
+	}
+	opts := bench.Options{Elements: 1 << 18, GraphVertices: *vertices, Verify: *verify, Recorder: rec}
+	tool := fmt.Sprintf("sagraph -fig %d", *fig)
+
+	var report *obs.BenchReport
 	switch *fig {
 	case 1:
 		orig, repl, err := bench.RunFigure1(opts)
@@ -36,6 +52,7 @@ func main() {
 		fmt.Printf("  smart arrays w/ repl.  %7.0f ms   %5.1f GB/s\n", repl.TimeMs, repl.BandwidthGBs)
 		fmt.Printf("  speedup %.2fx, bandwidth ratio %.2fx\n",
 			orig.TimeMs/repl.TimeMs, repl.BandwidthGBs/orig.BandwidthGBs)
+		report = bench.GraphBenchReport(tool, "pagerank", []bench.GraphResult{orig, repl})
 	case 11:
 		rows, err := bench.RunFigure11(opts)
 		exitOn(err)
@@ -43,6 +60,7 @@ func main() {
 			fmt.Sprintf("Figure 11: degree centrality (modeled at %d vertices, degree %d)",
 				uint64(bench.PaperDegreeVertices), bench.PaperDegreeDegree), rows)
 		exitOn(writeCSV(*csvPath, rows))
+		report = bench.GraphBenchReport(tool, "degree-centrality", rows)
 	case 12:
 		rows, err := bench.RunFigure12(opts)
 		exitOn(err)
@@ -51,10 +69,20 @@ func main() {
 				bench.PaperTwitterVertices/1_000_000, bench.PaperTwitterEdges/1_000_000, bench.PaperPageRankIters), rows)
 		printMemorySavings(rows)
 		exitOn(writeCSV(*csvPath, rows))
+		report = bench.GraphBenchReport(tool, "pagerank", rows)
 	default:
 		fmt.Fprintf(os.Stderr, "sagraph: unknown figure %d (want 1, 11, or 12)\n", *fig)
 		os.Exit(2)
 	}
+
+	if of.MetricsOut != "" {
+		if rec != nil {
+			m := rec.Metrics()
+			report.Metrics = &m
+		}
+		exitOn(report.WriteFile(of.MetricsOut))
+	}
+	exitOn(of.Finish(rec))
 }
 
 func printMemorySavings(rows []bench.GraphResult) {

@@ -229,16 +229,25 @@ func maxBandwidthFor(spec *machine.Spec, p *Profile, c Candidate) float64 {
 // compression decision. It returns the chosen configuration with its
 // predicted speedup and decision trail.
 func Decide(spec *machine.Spec, tr Traits, p *Profile) Candidate {
-	unc := SelectUncompressedPlacement(tr, p)
+	chosen, _, _, _ := decide(spec, tr, p)
+	return chosen
+}
+
+// decide is the shared §6 core: it returns the chosen configuration plus
+// both step-1 candidates so callers (and the trace layer) can inspect the
+// full candidate set.
+func decide(spec *machine.Spec, tr Traits, p *Profile) (chosen, unc, comp Candidate, compOK bool) {
+	unc = SelectUncompressedPlacement(tr, p)
 	unc.PredictedSpeedup = estimateSpeedup(spec, p, unc)
-	comp, ok := SelectCompressedPlacement(tr, p)
-	if !ok {
-		unc.Reason = fmt.Sprintf("%s; compression rejected: %s", unc.Reason, comp.Reason)
-		return unc
+	comp, compOK = SelectCompressedPlacement(tr, p)
+	if !compOK {
+		chosen = unc
+		chosen.Reason = fmt.Sprintf("%s; compression rejected: %s", unc.Reason, comp.Reason)
+		return chosen, unc, comp, false
 	}
 	comp.PredictedSpeedup = estimateSpeedup(spec, p, comp)
 	if comp.PredictedSpeedup > unc.PredictedSpeedup {
-		return comp
+		return comp, unc, comp, true
 	}
-	return unc
+	return unc, unc, comp, true
 }

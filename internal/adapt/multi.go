@@ -6,6 +6,7 @@ import (
 
 	"smartarrays/internal/machine"
 	"smartarrays/internal/memsim"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/perfmodel"
 )
 
@@ -59,6 +60,38 @@ func (d MultiDecision) String() string {
 // memory capacity. It returns the decisions (aligned with usages) and the
 // modeled result of the chosen configuration.
 func DecideMulti(spec *machine.Spec, capPerSocket uint64, instructions float64, usages []ArrayUsage) ([]MultiDecision, perfmodel.Result) {
+	ds, res, _, _ := decideMulti(spec, capPerSocket, instructions, usages)
+	return ds, res
+}
+
+// DecideMultiRecorded is DecideMulti with tracing: one MultiDecisionEvent
+// per joint decision, recording the per-array placements, the model-solve
+// budget the search spent, and the modeled outcome. rec may be nil.
+func DecideMultiRecorded(spec *machine.Spec, capPerSocket uint64, instructions float64, usages []ArrayUsage, rec *obs.Recorder) ([]MultiDecision, perfmodel.Result) {
+	ds, res, evals, fits := decideMulti(spec, capPerSocket, instructions, usages)
+	if rec != nil {
+		ev := obs.MultiDecisionEvent{
+			Machine:           spec.Name,
+			CapPerSocketBytes: capPerSocket,
+			Evaluations:       evals,
+			ModeledSeconds:    res.Seconds,
+			Bottleneck:        string(res.Bottleneck),
+			FitsCapacity:      fits,
+		}
+		for _, d := range ds {
+			ev.Decisions = append(ev.Decisions, obs.MultiArrayDecision{
+				Name: d.Name, Placement: d.Placement.String(), Socket: d.Socket,
+			})
+		}
+		rec.RecordMultiDecision(ev)
+	}
+	return ds, res
+}
+
+// decideMulti is the shared coordinate-descent core; it additionally
+// reports how many model evaluations the search spent and whether the
+// final configuration fits the capacity budget.
+func decideMulti(spec *machine.Spec, capPerSocket uint64, instructions float64, usages []ArrayUsage) ([]MultiDecision, perfmodel.Result, int, bool) {
 	n := len(usages)
 	decisions := make([]MultiDecision, n)
 	for i, u := range usages {
@@ -75,7 +108,9 @@ func DecideMulti(spec *machine.Spec, capPerSocket uint64, instructions float64, 
 		return traffic(usages[order[a]]) > traffic(usages[order[b]])
 	})
 
+	evaluations := 0
 	evaluate := func() perfmodel.Result {
+		evaluations++
 		return perfmodel.Solve(spec, buildMultiWorkload(instructions, usages, decisions))
 	}
 
@@ -109,9 +144,9 @@ func DecideMulti(spec *machine.Spec, capPerSocket uint64, instructions float64, 
 		// The all-interleaved start itself exceeds capacity: nothing the
 		// placement engine can do; report it as-is (the caller must shed
 		// data or compress).
-		return decisions, best
+		return decisions, best, evaluations, false
 	}
-	return decisions, best
+	return decisions, best, evaluations, true
 }
 
 // candidatePlacements enumerates the placements admissible for the array.

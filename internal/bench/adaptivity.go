@@ -10,6 +10,7 @@ import (
 	"smartarrays/internal/graph"
 	"smartarrays/internal/machine"
 	"smartarrays/internal/memsim"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/perfmodel"
 )
 
@@ -219,6 +220,15 @@ func degreeWorkloadAtBits(shape analytics.ShapeParams, bits uint) perfmodel.Work
 // RunAdaptivity evaluates the §6 policy over the grid against the model's
 // ground truth, reproducing the §6.3 statistics.
 func RunAdaptivity() AdaptReport {
+	return RunAdaptivityRecorded(nil)
+}
+
+// RunAdaptivityRecorded is RunAdaptivity with tracing: one DecisionEvent
+// per grid case is recorded on rec (nil disables recording), enriched with
+// the model's ground truth — estimated vs realized cost and the grid
+// optimum — so a trace shows exactly why each pick was made and what it
+// cost.
+func RunAdaptivityRecorded(rec *obs.Recorder) AdaptReport {
 	cases := AdaptivityGrid()
 	report := AdaptReport{}
 	staticTotals := map[string]float64{}
@@ -277,7 +287,7 @@ func RunAdaptivity() AdaptReport {
 		}
 		// Step 2: given the candidates, was the compression choice right?
 		report.Step2Cases++
-		chosen := adapt.Decide(c.Machine, c.traits, prof)
+		chosen, ev := adapt.DecideExplained(c.Machine, c.traits, prof, c.Name)
 		if step2Correct(times, chosen, uncCand, compCand, compOK) {
 			report.Step2Correct++
 		}
@@ -288,6 +298,16 @@ func RunAdaptivity() AdaptReport {
 			// variant (should not happen; count as a miss at the worst
 			// time).
 			chosenMs = bestMs * 10
+		}
+		if rec != nil {
+			ev.Bits = c.Bits
+			if chosen.PredictedSpeedup > 0 {
+				ev.EstimatedMs = meas.Seconds * 1e3 / chosen.PredictedSpeedup
+			}
+			ev.RealizedMs = chosenMs
+			ev.BestMs = bestMs
+			ev.BestLabel = bestLabel
+			rec.RecordDecision(ev)
 		}
 
 		correct := chosenMs <= bestMs*tieTolerance

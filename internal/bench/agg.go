@@ -10,6 +10,7 @@ import (
 	"smartarrays/internal/machine"
 	"smartarrays/internal/memsim"
 	"smartarrays/internal/minivm"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/perfmodel"
 	"smartarrays/internal/rts"
 )
@@ -38,6 +39,14 @@ type AggResult struct {
 	BandwidthGBs  float64
 	InstructionsG float64
 	Bottleneck    string
+	// Ops is the paper-scale element-access count; NsPerOp the modeled
+	// cost per access (the bench gate's quantity).
+	Ops     uint64
+	NsPerOp float64
+	// LocalBytes / RemoteBytes split the modeled traffic by whether it
+	// crossed a socket boundary.
+	LocalBytes  float64
+	RemoteBytes float64
 	// Sum is the real run's aggregation result; Verified reports that it
 	// matched the plain reference.
 	Sum      uint64
@@ -67,6 +76,7 @@ func initFormula(i uint64, mask uint64) uint64 {
 // then models the paper-scale run.
 func RunAggregation(cfg AggConfig, opts Options) (AggResult, error) {
 	rt := rts.New(cfg.Machine)
+	rt.SetRecorder(opts.Recorder)
 	codec, err := bitpack.New(cfg.Bits)
 	if err != nil {
 		return AggResult{}, err
@@ -118,8 +128,14 @@ func RunAggregation(cfg AggConfig, opts Options) (AggResult, error) {
 	if opts.Verify && !verified {
 		return AggResult{}, fmt.Errorf("bench: aggregation mismatch: got %d, want %d (%+v)", sum, want, cfg)
 	}
+	if opts.Recorder != nil {
+		opts.Recorder.RecordCounters(
+			fmt.Sprintf("aggregation %s %s bits=%d", cfg.Lang, cfg.Placement, cfg.Bits),
+			obs.CountersRecord(rt.Fabric().Snapshot()))
+	}
 
 	res := modelAggregation(cfg)
+	ops := 2 * PaperAggElements // one access per element, two arrays
 	return AggResult{
 		AggConfig:      cfg,
 		PlacementLabel: aggPlacementLabel(cfg.Placement),
@@ -127,6 +143,10 @@ func RunAggregation(cfg AggConfig, opts Options) (AggResult, error) {
 		BandwidthGBs:   res.MemBandwidthGBs,
 		InstructionsG:  res.Instructions / 1e9,
 		Bottleneck:     string(res.Bottleneck),
+		Ops:            uint64(ops),
+		NsPerOp:        res.Seconds * 1e9 / float64(ops),
+		LocalBytes:     res.LocalBytes,
+		RemoteBytes:    res.RemoteBytes,
 		Sum:            sum,
 		Verified:       verified,
 	}, nil

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
 )
 
 // Lang selects the implementation language of a workload (Figure 10 runs
@@ -57,6 +58,10 @@ type Options struct {
 	GraphVertices uint64
 	// Verify cross-checks every real run against a plain reference.
 	Verify bool
+	// Recorder, when non-nil, receives the run's observability events:
+	// RTS loop statistics, counter-fabric snapshots bracketing each real
+	// run, and adaptivity decisions.
+	Recorder *obs.Recorder
 }
 
 // DefaultOptions returns CI-friendly scales.

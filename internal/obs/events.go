@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"smartarrays/internal/counters"
+	"smartarrays/internal/machine"
+)
+
+// Kind tags an Event with its payload type.
+type Kind string
+
+const (
+	// KindLoop is one RTS parallel-loop execution (LoopStats payload).
+	KindLoop Kind = "loop"
+	// KindCounters is a counter-fabric snapshot (CountersEvent payload).
+	KindCounters Kind = "counters"
+	// KindDecision is one §6 adaptivity decision (DecisionEvent payload).
+	KindDecision Kind = "decision"
+	// KindMultiDecision is one joint multi-array placement decision.
+	KindMultiDecision Kind = "multi-decision"
+	// KindPhase is a free-form phase marker (Label payload only).
+	KindPhase Kind = "phase"
+)
+
+// Event is the trace envelope: exactly one payload pointer is set,
+// selected by Kind. Payloads are pointers so unset ones marshal away.
+type Event struct {
+	// Seq is the event's position in the recorder's total order
+	// (assigned by Record).
+	Seq  uint64 `json:"seq"`
+	Kind Kind   `json:"kind"`
+	// Label annotates phase markers and is free for any event.
+	Label string `json:"label,omitempty"`
+
+	Loop          *LoopStats          `json:"loop,omitempty"`
+	Counters      *CountersEvent      `json:"counters,omitempty"`
+	Decision      *DecisionEvent      `json:"decision,omitempty"`
+	MultiDecision *MultiDecisionEvent `json:"multiDecision,omitempty"`
+}
+
+// LoopStats describes one ParallelFor execution: how the dynamic batch
+// scheduler actually distributed work across the worker pool.
+type LoopStats struct {
+	// Begin/End/Grain echo the loop shape; Batches is the claimed total.
+	Begin   uint64 `json:"begin"`
+	End     uint64 `json:"end"`
+	Grain   uint64 `json:"grain"`
+	Batches uint64 `json:"batches"`
+	// BatchesPerWorker[i] is how many batches hardware thread i claimed.
+	BatchesPerWorker []uint64 `json:"batchesPerWorker,omitempty"`
+	// BatchesPerSocket aggregates the claims by NUMA node.
+	BatchesPerSocket []uint64 `json:"batchesPerSocket,omitempty"`
+	// ClaimImbalance is (max-min)/mean over per-worker claims — 0 for a
+	// perfectly even spread. Callisto's dynamic claiming keeps this low
+	// within a socket; stripes are static across sockets.
+	ClaimImbalance float64 `json:"claimImbalance"`
+	// GrainEfficiency is iterations/(batches*grain): 1.0 when the range
+	// divides evenly, lower when the tail batch is ragged.
+	GrainEfficiency float64 `json:"grainEfficiency"`
+}
+
+// NewLoopStats derives the summary statistics from raw per-worker claim
+// counts. sockets[i] gives worker i's NUMA node.
+func NewLoopStats(begin, end, grain uint64, claims []uint64, sockets []int) LoopStats {
+	ls := LoopStats{Begin: begin, End: end, Grain: grain,
+		BatchesPerWorker: claims}
+	var total, min, max uint64
+	first := true
+	nSockets := 0
+	for i, c := range claims {
+		total += c
+		if first || c < min {
+			min = c
+		}
+		if first || c > max {
+			max = c
+		}
+		first = false
+		if sockets != nil && sockets[i] >= nSockets {
+			nSockets = sockets[i] + 1
+		}
+	}
+	ls.Batches = total
+	if nSockets > 0 {
+		ls.BatchesPerSocket = make([]uint64, nSockets)
+		for i, c := range claims {
+			ls.BatchesPerSocket[sockets[i]] += c
+		}
+	}
+	if total > 0 && len(claims) > 0 {
+		mean := float64(total) / float64(len(claims))
+		ls.ClaimImbalance = float64(max-min) / mean
+		if grain > 0 && end > begin {
+			ls.GrainEfficiency = float64(end-begin) / float64(total*grain)
+		}
+	}
+	return ls
+}
+
+// SocketCounters is the JSON form of one socket's counter aggregate
+// (counters.SocketTotals flattened into the local/remote split the
+// performance model and the paper's plots use).
+type SocketCounters struct {
+	Socket           int    `json:"socket"`
+	Instructions     uint64 `json:"instructions"`
+	LocalReadBytes   uint64 `json:"localReadBytes"`
+	RemoteReadBytes  uint64 `json:"remoteReadBytes"`
+	LocalWriteBytes  uint64 `json:"localWriteBytes"`
+	RemoteWriteBytes uint64 `json:"remoteWriteBytes"`
+	RandomAccesses   uint64 `json:"randomAccesses"`
+	Accesses         uint64 `json:"accesses"`
+}
+
+// CountersEvent is a labeled counter-fabric snapshot.
+type CountersEvent struct {
+	Label   string           `json:"label,omitempty"`
+	Sockets []SocketCounters `json:"sockets"`
+}
+
+// CountersRecord converts a fabric snapshot into its JSON form.
+func CountersRecord(snap counters.Snapshot) []SocketCounters {
+	out := make([]SocketCounters, len(snap.Sockets))
+	for s := range snap.Sockets {
+		t := &snap.Sockets[s]
+		out[s] = SocketCounters{
+			Socket:          s,
+			Instructions:    t.Instructions,
+			LocalReadBytes:  t.LocalReadBytes(s),
+			RemoteReadBytes: t.RemoteReadBytes(s),
+			RandomAccesses:  t.RandomAccesses,
+			Accesses:        t.Accesses,
+		}
+		for m, b := range t.WriteBytesTo {
+			if m == s {
+				out[s].LocalWriteBytes += b
+			} else {
+				out[s].RemoteWriteBytes += b
+			}
+		}
+	}
+	return out
+}
+
+// ProfileRecord is the JSON form of the §6 runtime profile that fed a
+// decision — the measured counter inputs the diagrams walked.
+type ProfileRecord struct {
+	MemoryBound               bool    `json:"memoryBound"`
+	SignificantRandomAccesses bool    `json:"significantRandomAccesses"`
+	ExecCurrent               float64 `json:"execCurrent"`
+	ExecMax                   float64 `json:"execMax"`
+	BWCurrentMemory           float64 `json:"bwCurrentMemory"`
+	BWMaxMemory               float64 `json:"bwMaxMemory"`
+	BWMaxInterconnect         float64 `json:"bwMaxInterconnect"`
+	AccessesPerSec            float64 `json:"accessesPerSec"`
+	CostPerCompressedAccess   float64 `json:"costPerCompressedAccess"`
+	CompressionRatio          float64 `json:"compressionRatio"`
+	ElemBytes                 float64 `json:"elemBytes"`
+	SpaceUncompressedRepl     bool    `json:"spaceUncompressedRepl"`
+	SpaceCompressedRepl       bool    `json:"spaceCompressedRepl"`
+}
+
+// CandidateRecord is one configuration the decision diagrams produced.
+type CandidateRecord struct {
+	// Placement is the memsim placement label; Compressed marks the
+	// Figure 13b side.
+	Placement  string `json:"placement"`
+	Compressed bool   `json:"compressed"`
+	// Admissible is false when the diagram rejected compression outright
+	// ("No Compression"); Reason records the decision path either way.
+	Admissible bool   `json:"admissible"`
+	Reason     string `json:"reason"`
+	// PredictedSpeedup is §6.2's estimate over the measured run.
+	PredictedSpeedup float64 `json:"predictedSpeedup,omitempty"`
+}
+
+// DecisionEvent records one complete §6 adaptivity step: the profiled
+// inputs, the candidate set from the decision diagrams, the chosen
+// configuration, and — when the harness knows ground truth — the
+// estimated vs realized cost from the performance model.
+type DecisionEvent struct {
+	// Name identifies the workload/case; Machine and Bits the cell.
+	Name    string `json:"name"`
+	Machine string `json:"machine,omitempty"`
+	Bits    uint   `json:"bits,omitempty"`
+
+	Profile    ProfileRecord     `json:"profile"`
+	Candidates []CandidateRecord `json:"candidates"`
+
+	// Chosen is the winning configuration's label (Candidate.String()).
+	Chosen           string  `json:"chosen"`
+	ChosenCompressed bool    `json:"chosenCompressed"`
+	PredictedSpeedup float64 `json:"predictedSpeedup"`
+
+	// EstimatedMs is the measured run's time divided by the predicted
+	// speedup — what the policy expects the chosen configuration to cost.
+	// RealizedMs is the model's ground-truth cost of the chosen
+	// configuration; BestMs/BestLabel the grid optimum. Zero when the
+	// harness did not evaluate ground truth.
+	EstimatedMs float64 `json:"estimatedMs,omitempty"`
+	RealizedMs  float64 `json:"realizedMs,omitempty"`
+	BestMs      float64 `json:"bestMs,omitempty"`
+	BestLabel   string  `json:"bestLabel,omitempty"`
+}
+
+// MultiArrayDecision is one array's placement inside a joint decision.
+type MultiArrayDecision struct {
+	Name      string `json:"name"`
+	Placement string `json:"placement"`
+	Socket    int    `json:"socket,omitempty"`
+}
+
+// MultiDecisionEvent records one joint multi-array placement decision
+// (the coordinate-descent extension of §6).
+type MultiDecisionEvent struct {
+	Machine string `json:"machine"`
+	// CapPerSocketBytes is the per-socket memory budget the search
+	// respected.
+	CapPerSocketBytes uint64               `json:"capPerSocketBytes"`
+	Decisions         []MultiArrayDecision `json:"decisions"`
+	// Evaluations counts performance-model solves the search spent.
+	Evaluations int `json:"evaluations"`
+	// ModeledSeconds / Bottleneck describe the chosen configuration.
+	ModeledSeconds float64 `json:"modeledSeconds"`
+	Bottleneck     string  `json:"bottleneck"`
+	// FitsCapacity is false when even the all-interleaved start exceeded
+	// the budget and the caller must shed data or compress.
+	FitsCapacity bool `json:"fitsCapacity"`
+}
+
+// MachineRecord is the JSON form of the machine spec a report ran on —
+// the Table 1 fields the model consumes.
+type MachineRecord struct {
+	Name           string  `json:"name"`
+	CPU            string  `json:"cpu"`
+	Sockets        int     `json:"sockets"`
+	CoresPerSocket int     `json:"coresPerSocket"`
+	ThreadsPerCore int     `json:"threadsPerCore"`
+	ClockGHz       float64 `json:"clockGHz"`
+	MemPerSocketGB int     `json:"memPerSocketGB"`
+	LocalBWGBs     float64 `json:"localBWGBs"`
+	RemoteBWGBs    float64 `json:"remoteBWGBs"`
+}
+
+// MachineRecordOf snapshots a machine spec.
+func MachineRecordOf(spec *machine.Spec) MachineRecord {
+	return MachineRecord{
+		Name:           spec.Name,
+		CPU:            spec.CPU,
+		Sockets:        spec.Sockets,
+		CoresPerSocket: spec.CoresPerSocket,
+		ThreadsPerCore: spec.ThreadsPerCore,
+		ClockGHz:       spec.ClockGHz,
+		MemPerSocketGB: spec.MemPerSocketGB,
+		LocalBWGBs:     spec.LocalBWGBs,
+		RemoteBWGBs:    spec.RemoteBWGBs,
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import "encoding/json"
+
+// LoopSummary aggregates the RTS loop statistics over a recorder's
+// lifetime — the worker-level health metrics (claim balance, grain
+// efficiency) without per-loop detail.
+type LoopSummary struct {
+	// Loops counts ParallelFor executions; Batches the claims they made.
+	Loops   uint64 `json:"loops"`
+	Batches uint64 `json:"batches"`
+	// Iterations is the total loop iterations scheduled.
+	Iterations uint64 `json:"iterations"`
+	// MaxClaimImbalance / MeanClaimImbalance summarize per-loop
+	// (max-min)/mean worker claim spread.
+	MaxClaimImbalance  float64 `json:"maxClaimImbalance"`
+	MeanClaimImbalance float64 `json:"meanClaimImbalance"`
+	// MeanGrainEfficiency averages per-loop iterations/(batches*grain).
+	MeanGrainEfficiency float64 `json:"meanGrainEfficiency"`
+
+	// internal accumulators for the means
+	sumImbalance float64
+	sumGrainEff  float64
+}
+
+func (s *LoopSummary) add(ls *LoopStats) {
+	s.Loops++
+	s.Batches += ls.Batches
+	if ls.End > ls.Begin {
+		s.Iterations += ls.End - ls.Begin
+	}
+	s.sumImbalance += ls.ClaimImbalance
+	s.sumGrainEff += ls.GrainEfficiency
+	if ls.ClaimImbalance > s.MaxClaimImbalance {
+		s.MaxClaimImbalance = ls.ClaimImbalance
+	}
+	s.MeanClaimImbalance = s.sumImbalance / float64(s.Loops)
+	s.MeanGrainEfficiency = s.sumGrainEff / float64(s.Loops)
+}
+
+// Metrics is the registry snapshot: everything the recorder knows,
+// aggregated into one JSON-serializable record. It is the "metrics-out"
+// payload of the CLIs and rides along inside BenchReport.
+type Metrics struct {
+	// Events/Dropped describe the trace ring's occupancy.
+	Events  uint64 `json:"events"`
+	Dropped uint64 `json:"dropped"`
+	// Loops summarizes RTS scheduling behavior.
+	Loops LoopSummary `json:"loops"`
+	// Decisions counts adaptivity decision events (single + multi).
+	Decisions int `json:"decisions"`
+	// Counters is the most recent counter-fabric snapshot seen, if any.
+	Counters []SocketCounters `json:"counters,omitempty"`
+}
+
+// Metrics snapshots the recorder's aggregates. Safe on nil (zero value).
+func (r *Recorder) Metrics() Metrics {
+	if r == nil {
+		return Metrics{}
+	}
+	r.mu.Lock()
+	m := Metrics{
+		Events:    r.total,
+		Loops:     r.loops,
+		Decisions: r.nDecide,
+	}
+	if r.total > uint64(len(r.ring)) {
+		m.Dropped = r.total - uint64(len(r.ring))
+	}
+	r.mu.Unlock()
+	// Latest counters snapshot comes from the retained events (cheap scan,
+	// newest first).
+	evs := r.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Counters != nil {
+			m.Counters = evs[i].Counters.Sockets
+			break
+		}
+	}
+	return m
+}
+
+// MarshalJSON keeps the internal accumulators out of the wire format.
+func (s LoopSummary) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Loops               uint64  `json:"loops"`
+		Batches             uint64  `json:"batches"`
+		Iterations          uint64  `json:"iterations"`
+		MaxClaimImbalance   float64 `json:"maxClaimImbalance"`
+		MeanClaimImbalance  float64 `json:"meanClaimImbalance"`
+		MeanGrainEfficiency float64 `json:"meanGrainEfficiency"`
+	}
+	return json.Marshal(wire{
+		Loops:               s.Loops,
+		Batches:             s.Batches,
+		Iterations:          s.Iterations,
+		MaxClaimImbalance:   s.MaxClaimImbalance,
+		MeanClaimImbalance:  s.MeanClaimImbalance,
+		MeanGrainEfficiency: s.MeanGrainEfficiency,
+	})
+}
+
+// UnmarshalJSON mirrors MarshalJSON (round-trips the exported fields).
+func (s *LoopSummary) UnmarshalJSON(b []byte) error {
+	type wire struct {
+		Loops               uint64  `json:"loops"`
+		Batches             uint64  `json:"batches"`
+		Iterations          uint64  `json:"iterations"`
+		MaxClaimImbalance   float64 `json:"maxClaimImbalance"`
+		MeanClaimImbalance  float64 `json:"meanClaimImbalance"`
+		MeanGrainEfficiency float64 `json:"meanGrainEfficiency"`
+	}
+	var w wire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = LoopSummary{
+		Loops:               w.Loops,
+		Batches:             w.Batches,
+		Iterations:          w.Iterations,
+		MaxClaimImbalance:   w.MaxClaimImbalance,
+		MeanClaimImbalance:  w.MeanClaimImbalance,
+		MeanGrainEfficiency: w.MeanGrainEfficiency,
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecorderOrderAndWraparound(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Record(Event{Kind: KindPhase, Label: fmt.Sprintf("p%d", i)})
+	}
+	if got := r.Total(); got != 20 {
+		t.Fatalf("Total = %d, want 20", got)
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want ring capacity 8", got)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events returned %d, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(12 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d: seq %d, want %d (oldest-first order)", i, ev.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("p%d", wantSeq); ev.Label != want {
+			t.Errorf("event %d: label %q, want %q", i, ev.Label, want)
+		}
+	}
+}
+
+func TestRecorderExactCapacityNoDrop(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 4; i++ {
+		r.Record(Event{Kind: KindPhase})
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 at exact capacity", r.Dropped())
+	}
+	if seqs := r.Events(); seqs[0].Seq != 0 || seqs[3].Seq != 3 {
+		t.Fatalf("unexpected seq range %d..%d", seqs[0].Seq, seqs[3].Seq)
+	}
+}
+
+// TestRecorderConcurrent hammers the recorder from many goroutines (the
+// parallel-loop-writer shape: every RTS worker finishing a loop records)
+// and checks nothing is lost or duplicated. Run under -race this also
+// polices the locking.
+func TestRecorderConcurrent(t *testing.T) {
+	const writers = 16
+	const perWriter = 500
+	r := NewRecorder(writers * perWriter) // big enough: no overwrites
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.RecordLoop(LoopStats{Begin: 0, End: uint64(w + 1), Grain: 1, Batches: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+	evs := r.Events()
+	if len(evs) != writers*perWriter {
+		t.Fatalf("Events = %d, want %d", len(evs), writers*perWriter)
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Loop == nil {
+			t.Fatalf("seq %d lost its loop payload", ev.Seq)
+		}
+	}
+	m := r.Metrics()
+	if m.Loops.Loops != writers*perWriter {
+		t.Fatalf("Metrics.Loops.Loops = %d, want %d", m.Loops.Loops, writers*perWriter)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindPhase})
+	r.RecordLoop(LoopStats{})
+	r.RecordDecision(DecisionEvent{})
+	r.RecordMultiDecision(MultiDecisionEvent{})
+	r.RecordCounters("x", nil)
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+	if m := r.Metrics(); m.Events != 0 {
+		t.Fatal("nil recorder metrics must be zero")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil recorder trace must be empty")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	r.RecordDecision(DecisionEvent{
+		Name: "aggregation-C++", Machine: "2x8-core Xeon", Bits: 33,
+		Profile:    ProfileRecord{MemoryBound: true, ExecCurrent: 1e9},
+		Candidates: []CandidateRecord{{Placement: "interleaved", Admissible: true, Reason: "memory bound"}},
+		Chosen:     "replicated + compression", ChosenCompressed: true, PredictedSpeedup: 2.5,
+	})
+	r.RecordLoop(LoopStats{Begin: 0, End: 4096, Grain: 1024, Batches: 4, GrainEfficiency: 1})
+	r.RecordCounters("phase", []SocketCounters{{Socket: 0, Instructions: 42, LocalReadBytes: 7}})
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("round-tripped %d events, want 3", len(evs))
+	}
+	d := evs[0].Decision
+	if evs[0].Kind != KindDecision || d == nil {
+		t.Fatalf("event 0: kind %q, decision %v", evs[0].Kind, d)
+	}
+	if d.Chosen != "replicated + compression" || !d.ChosenCompressed || d.PredictedSpeedup != 2.5 {
+		t.Fatalf("decision did not round-trip: %+v", d)
+	}
+	if !d.Profile.MemoryBound || d.Profile.ExecCurrent != 1e9 {
+		t.Fatalf("profile did not round-trip: %+v", d.Profile)
+	}
+	if len(d.Candidates) != 1 || d.Candidates[0].Placement != "interleaved" {
+		t.Fatalf("candidates did not round-trip: %+v", d.Candidates)
+	}
+	if l := evs[1].Loop; l == nil || l.End != 4096 || l.Batches != 4 {
+		t.Fatalf("loop did not round-trip: %+v", l)
+	}
+	if c := evs[2].Counters; c == nil || c.Sockets[0].Instructions != 42 {
+		t.Fatalf("counters did not round-trip: %+v", c)
+	}
+}
+
+func TestNewLoopStats(t *testing.T) {
+	// 4 workers on 2 sockets; worker claims 3,1,2,2 batches of grain 100
+	// over [0,750): 8 batches, last one ragged (50 iterations).
+	ls := NewLoopStats(0, 750, 100, []uint64{3, 1, 2, 2}, []int{0, 0, 1, 1})
+	if ls.Batches != 8 {
+		t.Fatalf("Batches = %d, want 8", ls.Batches)
+	}
+	if len(ls.BatchesPerSocket) != 2 || ls.BatchesPerSocket[0] != 4 || ls.BatchesPerSocket[1] != 4 {
+		t.Fatalf("BatchesPerSocket = %v, want [4 4]", ls.BatchesPerSocket)
+	}
+	if want := (3.0 - 1.0) / 2.0; ls.ClaimImbalance != want {
+		t.Fatalf("ClaimImbalance = %v, want %v", ls.ClaimImbalance, want)
+	}
+	if want := 750.0 / 800.0; ls.GrainEfficiency != want {
+		t.Fatalf("GrainEfficiency = %v, want %v", ls.GrainEfficiency, want)
+	}
+}

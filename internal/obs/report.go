@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReportSchema is the version tag every bench_report.json carries. Bump it
+// when a field changes meaning; the bench gate refuses to compare reports
+// across schema versions.
+const ReportSchema = "smartarrays/bench_report/v1"
+
+// BenchRow is one benchmark cell: a workload on a machine under one
+// configuration, with the modeled outcome. The (Workload, Machine, Lang,
+// Placement, Bits) tuple is the row's identity for baseline comparison.
+type BenchRow struct {
+	// Workload names the experiment ("aggregation", "degree-centrality",
+	// "pagerank", "interop:<path>", ...).
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	// Lang is the implementation language when the workload sweeps it.
+	Lang      string `json:"lang,omitempty"`
+	Placement string `json:"placement"`
+	Bits      uint   `json:"bits,omitempty"`
+
+	// Ops is the operation count NsPerOp is normalized by (element
+	// accesses at paper scale).
+	Ops uint64 `json:"ops"`
+	// NsPerOp is the modeled cost per operation — the gated quantity.
+	NsPerOp float64 `json:"nsPerOp"`
+	// TimeMs / MemBandwidthGBs / InstructionsG are the paper's three
+	// panels at paper scale.
+	TimeMs          float64 `json:"timeMs"`
+	MemBandwidthGBs float64 `json:"memBandwidthGBs"`
+	InstructionsG   float64 `json:"instructionsG"`
+	// LocalBytes / RemoteBytes split the modeled traffic by whether it
+	// crossed a socket boundary.
+	LocalBytes  float64 `json:"localBytes"`
+	RemoteBytes float64 `json:"remoteBytes"`
+	Bottleneck  string  `json:"bottleneck"`
+	// Verified reports that the scaled-down real run matched its plain
+	// reference.
+	Verified bool `json:"verified"`
+}
+
+// Key is the row's identity for baseline matching.
+func (r *BenchRow) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d", r.Workload, r.Machine, r.Lang, r.Placement, r.Bits)
+}
+
+// BenchReport is the machine-readable benchmark artifact: the stable
+// schema CI's bench gate diffs against a checked-in baseline.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	// Tool records which command and mode produced the report
+	// (e.g. "sabench -fig 2").
+	Tool     string          `json:"tool,omitempty"`
+	Machines []MachineRecord `json:"machines,omitempty"`
+	Rows     []BenchRow      `json:"rows"`
+	// Metrics carries the run's recorder aggregates when one was active.
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// NewBenchReport creates an empty report with the current schema tag.
+func NewBenchReport(tool string) *BenchReport {
+	return &BenchReport{Schema: ReportSchema, Tool: tool}
+}
+
+// AddMachine records a machine spec once (deduplicated by name).
+func (b *BenchReport) AddMachine(m MachineRecord) {
+	for _, have := range b.Machines {
+		if have.Name == m.Name {
+			return
+		}
+	}
+	b.Machines = append(b.Machines, m)
+}
+
+// Write emits the report as indented JSON.
+func (b *BenchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the report to path.
+func (b *BenchReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return b.Write(f)
+}
+
+// ReadBenchReport parses a report and validates its schema tag.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var b BenchReport
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("obs: parse bench report: %w", err)
+	}
+	if b.Schema != ReportSchema {
+		return nil, fmt.Errorf("obs: bench report schema %q, want %q", b.Schema, ReportSchema)
+	}
+	return &b, nil
+}
+
+// ReadBenchReportFile reads a report from path.
+func ReadBenchReportFile(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBenchReport(f)
+}
+
+// Regression is one gate finding: a row whose ns/op worsened beyond the
+// allowed ratio, or a baseline row the current report no longer has.
+type Regression struct {
+	Key string `json:"key"`
+	// BaselineNsPerOp / CurrentNsPerOp are zero when the row is missing
+	// from the respective report.
+	BaselineNsPerOp float64 `json:"baselineNsPerOp"`
+	CurrentNsPerOp  float64 `json:"currentNsPerOp"`
+	// Ratio is current/baseline (0 for missing rows).
+	Ratio float64 `json:"ratio"`
+	// Missing marks a baseline row absent from the current report.
+	Missing bool `json:"missing"`
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: present in baseline, missing from current report", r.Key)
+	}
+	return fmt.Sprintf("%s: %.3f -> %.3f ns/op (%.2fx)",
+		r.Key, r.BaselineNsPerOp, r.CurrentNsPerOp, r.Ratio)
+}
+
+// Compare diffs current against baseline: every baseline row must exist in
+// current with NsPerOp no worse than maxRatio times the baseline (1.25 =
+// allow 25% regression). New rows in current are allowed (they have no
+// baseline to regress from). Findings come back sorted worst-first.
+func Compare(baseline, current *BenchReport, maxRatio float64) []Regression {
+	cur := make(map[string]*BenchRow, len(current.Rows))
+	for i := range current.Rows {
+		cur[current.Rows[i].Key()] = &current.Rows[i]
+	}
+	var out []Regression
+	for i := range baseline.Rows {
+		base := &baseline.Rows[i]
+		now, ok := cur[base.Key()]
+		if !ok {
+			out = append(out, Regression{Key: base.Key(), BaselineNsPerOp: base.NsPerOp, Missing: true})
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		ratio := now.NsPerOp / base.NsPerOp
+		if ratio > maxRatio {
+			out = append(out, Regression{
+				Key:             base.Key(),
+				BaselineNsPerOp: base.NsPerOp,
+				CurrentNsPerOp:  now.NsPerOp,
+				Ratio:           ratio,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Missing != out[b].Missing {
+			return out[a].Missing
+		}
+		return out[a].Ratio > out[b].Ratio
+	})
+	return out
+}

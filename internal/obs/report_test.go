@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartarrays/internal/machine"
+)
+
+func sampleReport() *BenchReport {
+	rep := NewBenchReport("test")
+	rep.AddMachine(MachineRecordOf(machine.X52Small()))
+	rep.AddMachine(MachineRecordOf(machine.X52Small())) // dedup
+	rep.Rows = []BenchRow{
+		{Workload: "aggregation", Machine: "m", Lang: "C++", Placement: "interleaved", Bits: 64,
+			Ops: 1000, NsPerOp: 2.0, TimeMs: 2e-3, LocalBytes: 800, RemoteBytes: 200,
+			Bottleneck: "memory", Verified: true},
+		{Workload: "aggregation", Machine: "m", Lang: "C++", Placement: "replicated", Bits: 33,
+			Ops: 1000, NsPerOp: 1.0, Verified: true},
+	}
+	return rep
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	m := Metrics{Events: 3, Decisions: 1, Loops: LoopSummary{Loops: 2, Batches: 10,
+		Iterations: 100, MeanGrainEfficiency: 0.9}}
+	rep.Metrics = &m
+
+	path := filepath.Join(t.TempDir(), "bench_report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema || got.Tool != "test" {
+		t.Fatalf("header did not round-trip: %+v", got)
+	}
+	if len(got.Machines) != 1 {
+		t.Fatalf("machines = %d, want 1 (deduplicated)", len(got.Machines))
+	}
+	if len(got.Rows) != 2 || got.Rows[0] != rep.Rows[0] || got.Rows[1] != rep.Rows[1] {
+		t.Fatalf("rows did not round-trip: %+v", got.Rows)
+	}
+	if got.Metrics == nil || got.Metrics.Loops.Loops != 2 ||
+		got.Metrics.Loops.MeanGrainEfficiency != 0.9 {
+		t.Fatalf("metrics did not round-trip: %+v", got.Metrics)
+	}
+}
+
+func TestBenchReportSchemaRejected(t *testing.T) {
+	bad := strings.NewReader(`{"schema": "something/else/v9", "rows": []}`)
+	if _, err := ReadBenchReport(bad); err == nil {
+		t.Fatal("wrong schema version must be rejected")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+
+	// Identical reports: clean.
+	if regs := Compare(base, cur, 1.25); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+
+	// Within threshold: clean. Beyond: flagged.
+	cur.Rows[0].NsPerOp = 2.0 * 1.2
+	if regs := Compare(base, cur, 1.25); len(regs) != 0 {
+		t.Fatalf("20%% regression under a 25%% gate flagged: %v", regs)
+	}
+	cur.Rows[0].NsPerOp = 2.0 * 1.3
+	regs := Compare(base, cur, 1.25)
+	if len(regs) != 1 || regs[0].Missing || regs[0].Ratio < 1.29 || regs[0].Ratio > 1.31 {
+		t.Fatalf("30%% regression not flagged correctly: %v", regs)
+	}
+	if !strings.Contains(regs[0].Key, "interleaved") {
+		t.Fatalf("wrong row flagged: %v", regs[0].Key)
+	}
+
+	// A vanished baseline row is a failure; a new current row is not.
+	cur = sampleReport()
+	cur.Rows = cur.Rows[:1]
+	cur.Rows = append(cur.Rows, BenchRow{Workload: "new", Machine: "m", Placement: "x", NsPerOp: 9})
+	regs = Compare(base, cur, 1.25)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("missing baseline row not flagged: %v", regs)
+	}
+
+	// Improvements are never flagged.
+	cur = sampleReport()
+	cur.Rows[0].NsPerOp = 0.5
+	if regs := Compare(base, cur, 1.25); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestMetricsLatestCounters(t *testing.T) {
+	r := NewRecorder(16)
+	r.RecordCounters("old", []SocketCounters{{Socket: 0, Accesses: 1}})
+	r.RecordCounters("new", []SocketCounters{{Socket: 0, Accesses: 2}})
+	m := r.Metrics()
+	if len(m.Counters) != 1 || m.Counters[0].Accesses != 2 {
+		t.Fatalf("Metrics must surface the newest counters snapshot, got %+v", m.Counters)
+	}
+}
+
+func TestBenchReportWriteIsStableJSON(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleReport().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleReport().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report serialization must be deterministic")
+	}
+}

@@ -84,6 +84,10 @@ type Result struct {
 	WorkShare []float64
 	// TotalBytes is all payload moved (reads + writes).
 	TotalBytes float64
+	// LocalBytes / RemoteBytes split TotalBytes by whether the transfer
+	// crossed a socket boundary (remote = interconnect traffic).
+	LocalBytes  float64
+	RemoteBytes float64
 	// MemBandwidthGBs is the achieved machine-wide memory bandwidth,
 	// TotalBytes / Seconds, in GB/s — the quantity the paper's bandwidth
 	// plots report.
@@ -284,14 +288,17 @@ func evaluateSplit(spec *machine.Spec, w Workload, share []float64) Result {
 	for m := 0; m < n; m++ {
 		res.PerMemoryGBs[m] = memLoad[m] / seconds / machine.GB
 	}
-	var maxLink float64
+	var maxLink, remoteBytes float64
 	for s := 0; s < n; s++ {
 		for m := 0; m < n; m++ {
+			remoteBytes += linkLoad[s][m]
 			if linkLoad[s][m] > maxLink {
 				maxLink = linkLoad[s][m]
 			}
 		}
 	}
+	res.RemoteBytes = remoteBytes
+	res.LocalBytes = totalBytes - remoteBytes
 	res.InterconnectGBs = maxLink / seconds / machine.GB
 	if exec > 0 {
 		res.ComputeUtil = computeMax / seconds
@@ -373,14 +380,17 @@ func EvaluateFixed(spec *machine.Spec, snap counters.Snapshot) Result {
 	for m := 0; m < n; m++ {
 		res.PerMemoryGBs[m] = memLoad[m] / seconds / machine.GB
 	}
-	var maxLink float64
+	var maxLink, remoteBytes float64
 	for s := 0; s < n; s++ {
 		for m := 0; m < n; m++ {
+			remoteBytes += linkLoad[s][m]
 			if linkLoad[s][m] > maxLink {
 				maxLink = linkLoad[s][m]
 			}
 		}
 	}
+	res.RemoteBytes = remoteBytes
+	res.LocalBytes = totalBytes - remoteBytes
 	res.InterconnectGBs = maxLink / seconds / machine.GB
 	if exec > 0 {
 		res.ComputeUtil = computeMax / seconds

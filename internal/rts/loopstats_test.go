@@ -1,0 +1,79 @@
+package rts
+
+import (
+	"testing"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
+)
+
+// TestParallelForRecordsLoopStats checks that an attached recorder gets
+// one loop event per ParallelFor whose claim counts cover every batch
+// exactly once, with the striping's per-socket attribution intact.
+func TestParallelForRecordsLoopStats(t *testing.T) {
+	rt := New(machine.X52Small())
+	rec := obs.NewRecorder(16)
+	rt.SetRecorder(rec)
+
+	const n = 100_000
+	const grain = 1000 // 100 batches, 50 per socket stripe
+	sum := rt.ReduceSum(0, n, grain, func(w *Worker, lo, hi uint64) uint64 {
+		return hi - lo
+	})
+	if sum != n {
+		t.Fatalf("sum = %d, want %d", sum, n)
+	}
+
+	evs := rec.Events()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want 1 loop event", len(evs))
+	}
+	ls := evs[0].Loop
+	if ls == nil {
+		t.Fatalf("event is not a loop event: %+v", evs[0])
+	}
+	if ls.Batches != 100 {
+		t.Fatalf("Batches = %d, want 100", ls.Batches)
+	}
+	if len(ls.BatchesPerWorker) != rt.Spec().HWThreads() {
+		t.Fatalf("BatchesPerWorker has %d entries, want %d",
+			len(ls.BatchesPerWorker), rt.Spec().HWThreads())
+	}
+	// Round-robin striping across 2 sockets: each stripe owns exactly half
+	// the batches regardless of host scheduling.
+	if len(ls.BatchesPerSocket) != 2 || ls.BatchesPerSocket[0] != 50 || ls.BatchesPerSocket[1] != 50 {
+		t.Fatalf("BatchesPerSocket = %v, want [50 50]", ls.BatchesPerSocket)
+	}
+	if ls.GrainEfficiency != 1.0 {
+		t.Fatalf("GrainEfficiency = %v, want 1.0 for an evenly divisible range", ls.GrainEfficiency)
+	}
+	if ls.Begin != 0 || ls.End != n || ls.Grain != grain {
+		t.Fatalf("loop shape %d..%d/%d not recorded faithfully", ls.Begin, ls.End, ls.Grain)
+	}
+}
+
+// TestParallelForSingleBatchRecords covers the degenerate single-batch
+// fast path, which must still emit a loop event.
+func TestParallelForSingleBatchRecords(t *testing.T) {
+	rt := New(machine.UMA(4))
+	rec := obs.NewRecorder(4)
+	rt.SetRecorder(rec)
+	rt.ParallelFor(0, 10, 1000, func(w *Worker, lo, hi uint64) {})
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].Loop == nil {
+		t.Fatalf("single-batch loop not recorded: %+v", evs)
+	}
+	if evs[0].Loop.Batches != 1 || evs[0].Loop.BatchesPerWorker[0] != 1 {
+		t.Fatalf("single-batch claims wrong: %+v", evs[0].Loop)
+	}
+}
+
+// TestParallelForNoRecorderNoEvents guards the default path: without a
+// recorder, no claim accounting happens and nothing is recorded.
+func TestParallelForNoRecorderNoEvents(t *testing.T) {
+	rt := New(machine.UMA(4))
+	rt.ParallelFor(0, 100_000, 0, func(w *Worker, lo, hi uint64) {})
+	if rt.Recorder() != nil {
+		t.Fatal("recorder must default to nil")
+	}
+}

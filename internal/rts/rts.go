@@ -23,6 +23,7 @@ import (
 	"smartarrays/internal/counters"
 	"smartarrays/internal/machine"
 	"smartarrays/internal/memsim"
+	"smartarrays/internal/obs"
 )
 
 // DefaultGrain is the default batch size (loop iterations per work claim).
@@ -51,6 +52,10 @@ type Runtime struct {
 	// workers beyond it share host threads (performance is modeled, so host
 	// oversubscription does not distort results).
 	hostPar int
+	// rec, when set, receives one LoopStats event per ParallelFor. Claim
+	// counting stays in goroutine-local state so recording never adds
+	// cross-worker synchronization to the hot path.
+	rec *obs.Recorder
 }
 
 // New creates a runtime for the given machine with one worker per hardware
@@ -90,6 +95,14 @@ func (r *Runtime) Workers() []*Worker { return r.workers }
 // Worker returns the worker for hardware thread id.
 func (r *Runtime) Worker(id int) *Worker { return r.workers[id] }
 
+// SetRecorder attaches an observability recorder; every subsequent
+// ParallelFor emits one loop-statistics event. A nil recorder detaches.
+// Must not be called while a parallel loop is running.
+func (r *Runtime) SetRecorder(rec *obs.Recorder) { r.rec = rec }
+
+// Recorder returns the attached recorder (nil when not recording).
+func (r *Runtime) Recorder() *obs.Recorder { return r.rec }
+
 // ParallelFor executes body over every index range covering [begin, end),
 // distributing batches of about grain iterations dynamically among all
 // workers. Batches are striped round-robin across sockets; within a socket
@@ -112,6 +125,7 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 
 	if numBatches == 1 {
 		body(r.workers[0], begin, end)
+		r.recordLoop(begin, end, g, func(claims []uint64) { claims[0] = 1 })
 		return
 	}
 
@@ -119,8 +133,22 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 	// s, s+sockets, s+2*sockets, ...
 	cursors := make([]atomic.Uint64, sockets)
 
+	// claims[i] counts batches worker i executed; each slot is written
+	// only by its owning worker's goroutine (after its claim loop exits),
+	// so no synchronization beyond the final wg.Wait is needed.
+	var claims []uint64
+	if r.rec != nil {
+		claims = make([]uint64, len(r.workers))
+	}
+
 	run := func(w *Worker) {
 		s := uint64(w.Socket)
+		var claimed uint64
+		defer func() {
+			if claims != nil {
+				claims[w.ID] = claimed
+			}
+		}()
 		for {
 			k := cursors[s].Add(1) - 1 // k-th batch of this socket's stripe
 			batch := k*sockets + s
@@ -140,6 +168,7 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 				hi = end
 			}
 			body(w, lo, hi)
+			claimed++
 		}
 	}
 
@@ -157,6 +186,28 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 		}(w)
 	}
 	wg.Wait()
+	if claims != nil {
+		r.rec.RecordLoop(obs.NewLoopStats(begin, end, g, claims, r.workerSockets()))
+	}
+}
+
+// recordLoop emits a loop event for degenerate (single-batch) loops.
+func (r *Runtime) recordLoop(begin, end, grain uint64, fill func(claims []uint64)) {
+	if r.rec == nil {
+		return
+	}
+	claims := make([]uint64, len(r.workers))
+	fill(claims)
+	r.rec.RecordLoop(obs.NewLoopStats(begin, end, grain, claims, r.workerSockets()))
+}
+
+// workerSockets maps worker ID to NUMA node for loop-statistics events.
+func (r *Runtime) workerSockets() []int {
+	socks := make([]int, len(r.workers))
+	for i, w := range r.workers {
+		socks[i] = w.Socket
+	}
+	return socks
 }
 
 // SequentialFor runs body on a single worker over the whole range — the
