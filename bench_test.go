@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"smartarrays/internal/bench"
+	"smartarrays/internal/bitpack"
 	"smartarrays/internal/core"
 	"smartarrays/internal/graph"
 	"smartarrays/internal/machine"
@@ -141,19 +142,36 @@ func BenchmarkAdaptivity(b *testing.B) {
 
 // Micro-benchmarks of the hot kernels on real (host) time.
 
-func benchScan(b *testing.B, bits uint) {
+func scanFixture(b *testing.B, bits uint) *core.SmartArray {
 	rt := rts.New(machine.UMA(4))
 	const n = 1 << 16
 	a, err := core.Allocate(rt.Memory(), core.Config{Length: n, Bits: bits, Placement: memsim.Interleaved})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer a.Free()
+	b.Cleanup(a.Free)
 	mask := a.Codec().Mask()
 	for i := uint64(0); i < n; i++ {
 		a.Init(0, i, uint64(i)&mask)
 	}
 	b.SetBytes(n * 8)
+	return a
+}
+
+func benchScan(b *testing.B, bits uint) {
+	a := scanFixture(b, bits)
+	n := a.Length()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += core.SumRangeIter(a, 0, 0, n)
+	}
+	_ = sink
+}
+
+func benchFusedSum(b *testing.B, bits uint) {
+	a := scanFixture(b, bits)
+	n := a.Length()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -162,12 +180,33 @@ func benchScan(b *testing.B, bits uint) {
 	_ = sink
 }
 
-// BenchmarkScanU64/U32/Compressed33/Compressed10 measure the iterator
-// fast paths.
+// BenchmarkScanU64/U32/Compressed33/Compressed10 measure the chunked
+// iterator path (decode into a chunk buffer, then fold).
 func BenchmarkScanU64(b *testing.B)          { benchScan(b, 64) }
 func BenchmarkScanU32(b *testing.B)          { benchScan(b, 32) }
 func BenchmarkScanCompressed33(b *testing.B) { benchScan(b, 33) }
 func BenchmarkScanCompressed10(b *testing.B) { benchScan(b, 10) }
+
+// BenchmarkFusedSum* measure the fused word-at-a-time kernels that
+// SumRange now routes through (no chunk buffer materialization).
+func BenchmarkFusedSumU64(b *testing.B)          { benchFusedSum(b, 64) }
+func BenchmarkFusedSumU32(b *testing.B)          { benchFusedSum(b, 32) }
+func BenchmarkFusedSumCompressed33(b *testing.B) { benchFusedSum(b, 33) }
+func BenchmarkFusedSumCompressed10(b *testing.B) { benchFusedSum(b, 10) }
+
+// BenchmarkFusedCountCompressed10 measures the fused predicate-count
+// kernel used by the column-store COUNT fast path.
+func BenchmarkFusedCountCompressed10(b *testing.B) {
+	a := scanFixture(b, 10)
+	n := a.Length()
+	thr := a.Codec().Mask() / 2
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += core.CountRange(a, 0, 0, n, bitpack.CmpLe, thr)
+	}
+	_ = sink
+}
 
 // BenchmarkParallelSum measures the runtime's dynamic loop distribution.
 func BenchmarkParallelSum(b *testing.B) {

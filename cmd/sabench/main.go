@@ -27,6 +27,7 @@ func main() {
 	fig := flag.Int("fig", 2, "figure to regenerate: 2, 3, or 10")
 	elements := flag.Uint64("elements", 1<<20, "elements per array for the real run")
 	verify := flag.Bool("verify", true, "verify real runs against plain references")
+	kernels := flag.Bool("kernels", false, "also run the fused packed-scan kernel benchmark and append its rows to the report")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
@@ -64,6 +65,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sabench: unknown figure %d (want 2, 3, or 10)\n", *fig)
 		os.Exit(2)
+	}
+
+	if *kernels {
+		rows, err := bench.RunFusedKernels(opts)
+		exitOn(err)
+		bench.PrintKernelTable(os.Stdout, rows)
+		if report != nil {
+			krep := bench.KernelBenchReport(tool, rows)
+			for _, m := range krep.Machines {
+				report.AddMachine(m)
+			}
+			report.Rows = append(report.Rows, krep.Rows...)
+		}
 	}
 
 	if of.MetricsOut != "" {

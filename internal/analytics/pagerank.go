@@ -3,7 +3,6 @@ package analytics
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"smartarrays/internal/core"
 	"smartarrays/internal/graph"
@@ -78,21 +77,26 @@ func PageRank(rt *rts.Runtime, g *graph.SmartCSR, cfg PageRankConfig) ([]float64
 	defer next.Free()
 
 	// Initialize properties: out-degrees from begin, uniform initial ranks.
+	// The begin scan streams through the fused chunk-decode path (one
+	// unpack per 64 elements) instead of two random Gets per vertex.
 	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
-		beginRep := g.Begin.GetReplica(w.Socket)
 		init := math.Float64bits(1 / float64(n))
-		for v := lo; v < hi; v++ {
-			outDeg.Init(w.Socket, v, g.Begin.Get(beginRep, v+1)-g.Begin.Get(beginRep, v))
-			ranks.Init(w.Socket, v, init)
-		}
+		var prev uint64
+		core.Map(g.Begin, w.Socket, lo, hi+1, func(i, v uint64) {
+			if i > lo {
+				outDeg.Init(w.Socket, i-1, v-prev)
+				ranks.Init(w.Socket, i-1, init)
+			}
+			prev = v
+		})
 	})
 
 	base := (1 - cfg.Damping) / float64(n)
-	var mu sync.Mutex
 	iters := 0
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		var totalDiff float64
-		rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+		// Per-worker float partials, combined once per worker after the
+		// loop — no mutex (or atomic) per batch on the diff accumulation.
+		totalDiff := rt.ReduceSumFloat64(0, n, 0, func(w *rts.Worker, lo, hi uint64) float64 {
 			rbeginRep := g.RBegin.GetReplica(w.Socket)
 			redgeRep := g.REdge.GetReplica(w.Socket)
 			ranksRep := ranks.GetReplica(w.Socket)
@@ -114,9 +118,7 @@ func PageRank(rt *rts.Runtime, g *graph.SmartCSR, cfg PageRankConfig) ([]float64
 				localDiff += math.Abs(newRank - math.Float64frombits(ranks.Get(ranksRep, v)))
 				next.Init(w.Socket, v, math.Float64bits(newRank))
 			}
-			mu.Lock()
-			totalDiff += localDiff
-			mu.Unlock()
+			return localDiff
 		})
 		ranks, next = next, ranks
 		iters++

@@ -163,12 +163,15 @@ func RunAblationUnpack() AblationSection {
 		return s
 	})
 	measure("chunked iterator (Function 3)", func() uint64 {
-		return core.SumRange(a, 0, 0, n)
+		return core.SumRangeIter(a, 0, 0, n)
 	})
 	measure("bounded map (section 7)", func() uint64 {
 		var s uint64
 		core.Map(a, 0, 0, n, func(_, v uint64) { s += v })
 		return s
+	})
+	measure("fused word-at-a-time (SumChunks)", func() uint64 {
+		return core.SumRange(a, 0, 0, n)
 	})
 	return sec
 }

@@ -48,20 +48,31 @@ func parseSeconds(s string, out *float64) (int, error) {
 
 func TestAblationUnpackBeatsPerElementGet(t *testing.T) {
 	sec := RunAblationUnpack()
-	if len(sec.Rows) != 3 {
+	if len(sec.Rows) != 4 {
 		t.Fatalf("rows = %d", len(sec.Rows))
 	}
-	var get, iter float64
+	var get, iter, fused float64
 	if _, err := fmt.Sscanf(sec.Rows[0].Value, "%f ns/elem", &get); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fmt.Sscanf(sec.Rows[1].Value, "%f ns/elem", &iter); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := fmt.Sscanf(sec.Rows[3].Value, "%f ns/elem", &fused); err != nil {
+		t.Fatal(err)
+	}
 	// The chunked iterator must not be slower than per-element gets by
 	// more than noise (it usually wins; CI hosts are noisy).
 	if iter > get*1.5 {
 		t.Errorf("chunked iterator (%.2f) much slower than per-element get (%.2f)", iter, get)
+	}
+	// The fused word-at-a-time kernel must not lose to the per-element
+	// path, and should generally beat the iterator too (noise-tolerant).
+	if fused > get*1.2 {
+		t.Errorf("fused kernel (%.2f) slower than per-element get (%.2f)", fused, get)
+	}
+	if fused > iter*1.2 {
+		t.Errorf("fused kernel (%.2f) slower than chunked iterator (%.2f)", fused, iter)
 	}
 }
 

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/core"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/obs"
+	"smartarrays/internal/perfmodel"
+	"smartarrays/internal/rts"
+)
+
+// Fused-kernel benchmark: one gated row per (width, kernel) pair for the
+// fused packed-scan layer (bitpack.SumChunks / CountWhere via
+// core.ReduceRange / CountRange). Each cell really runs the fused kernel
+// at opts.Elements on the simulated 18-core machine and verifies it
+// against the iterator/per-element reference, then models the paper-scale
+// (500M element) run with the fused instruction costs. The modeled ns/op
+// is deterministic, so these rows gate the fused hot path exactly like the
+// aggregation rows gate the end-to-end workload.
+
+// KernelResult is one fused-kernel benchmark row.
+type KernelResult struct {
+	Machine *machine.Spec
+	// Kernel names the fused operation ("fused-sum", "fused-count").
+	Kernel string
+	Bits   uint
+	// Ops is the paper-scale element count; NsPerOp the modeled cost per
+	// element.
+	Ops     uint64
+	NsPerOp float64
+	TimeMs  float64
+	// InstructionsG is the modeled paper-scale instruction count.
+	InstructionsG float64
+	Bottleneck    string
+	// Verified reports that the real fused run matched the reference path.
+	Verified bool
+}
+
+// kernelBits are the gated widths: the two specialized uncompressed
+// representations plus a straddling and a non-straddling compressed width.
+var kernelBits = []uint{10, 32, 33, 64}
+
+// countThreshold picks a mid-range threshold so the count predicate
+// selects roughly half the elements.
+func countThreshold(mask uint64) uint64 { return mask / 2 }
+
+// RunFusedKernels executes and models the fused-kernel benchmark cells.
+func RunFusedKernels(opts Options) ([]KernelResult, error) {
+	spec := machine.X52Large()
+	rt := rts.New(spec)
+	rt.SetRecorder(opts.Recorder)
+
+	var rows []KernelResult
+	for _, bits := range kernelBits {
+		a, err := core.Allocate(rt.Memory(), core.Config{
+			Length: opts.Elements, Bits: bits, Placement: memsim.Interleaved,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mask := a.Codec().Mask()
+		for i := uint64(0); i < opts.Elements; i++ {
+			a.Init(0, i, initFormula(i, mask))
+		}
+		thr := countThreshold(mask)
+
+		// Fused parallel sum vs the iterator reference.
+		sum := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			a.AccountReduce(w.Counters, lo, hi)
+			return core.ReduceRange(a, w.Socket, lo, hi, core.ReduceSum)
+		})
+		sumOK := sum == core.SumRangeIter(a, 0, 0, opts.Elements)
+
+		// Fused parallel threshold count vs the per-element reference.
+		count := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			a.AccountReduce(w.Counters, lo, hi)
+			return core.CountRange(a, w.Socket, lo, hi, bitpack.CmpLe, thr)
+		})
+		var wantCount uint64
+		rep := a.GetReplica(0)
+		for i := uint64(0); i < opts.Elements; i++ {
+			if a.Get(rep, i) <= thr {
+				wantCount++
+			}
+		}
+		countOK := count == wantCount
+		a.Free()
+
+		if opts.Verify && (!sumOK || !countOK) {
+			return nil, fmt.Errorf("bench: fused kernel mismatch at %d bits (sum ok=%v, count ok=%v)",
+				bits, sumOK, countOK)
+		}
+
+		rows = append(rows,
+			modelKernel(spec, "fused-sum", bits, 0, sumOK),
+			// The count adds one compare per element on top of the fused
+			// decode+fold.
+			modelKernel(spec, "fused-count", bits, 1, countOK),
+		)
+	}
+	return rows, nil
+}
+
+// modelKernel evaluates the paper-scale fused reduction for one cell:
+// one streaming read of the packed payload, CostReduce (+extra)
+// instructions per element.
+func modelKernel(spec *machine.Spec, kernel string, bits uint, extraInstr float64, verified bool) KernelResult {
+	codec := bitpack.MustNew(bits)
+	w := perfmodel.Workload{
+		Instructions: float64(PaperAggElements) * (perfmodel.CostReduce(bits) + extraInstr),
+		Streams: []perfmodel.Stream{
+			{Kind: perfmodel.Read, Bytes: float64(codec.CompressedBytes(PaperAggElements)), Placement: memsim.Interleaved},
+		},
+	}
+	res := perfmodel.Solve(spec, w)
+	return KernelResult{
+		Machine:       spec,
+		Kernel:        kernel,
+		Bits:          bits,
+		Ops:           PaperAggElements,
+		NsPerOp:       res.Seconds * 1e9 / float64(PaperAggElements),
+		TimeMs:        res.Seconds * 1e3,
+		InstructionsG: res.Instructions / 1e9,
+		Bottleneck:    string(res.Bottleneck),
+		Verified:      verified,
+	}
+}
+
+// KernelBenchReport converts fused-kernel rows into gateable report rows.
+func KernelBenchReport(tool string, rows []KernelResult) *obs.BenchReport {
+	rep := obs.NewBenchReport(tool)
+	for _, r := range rows {
+		rep.AddMachine(obs.MachineRecordOf(r.Machine))
+		rep.Rows = append(rep.Rows, obs.BenchRow{
+			Workload:      r.Kernel,
+			Machine:       r.Machine.Name,
+			Placement:     "interleaved",
+			Bits:          r.Bits,
+			Ops:           r.Ops,
+			NsPerOp:       r.NsPerOp,
+			TimeMs:        r.TimeMs,
+			InstructionsG: r.InstructionsG,
+			Bottleneck:    r.Bottleneck,
+			Verified:      r.Verified,
+		})
+	}
+	return rep
+}

@@ -22,6 +22,18 @@ func PrintAggTable(w io.Writer, title string, rows []AggResult) {
 	tw.Flush()
 }
 
+// PrintKernelTable writes the fused-kernel benchmark rows.
+func PrintKernelTable(w io.Writer, rows []KernelResult) {
+	fmt.Fprintln(w, "Fused packed-scan kernels (modeled paper-scale reduction, 18-core machine)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tbits\tns/op\ttime(ms)\tinstr(x1e9)\tbottleneck\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.0f\t%.1f\t%s\t%v\n",
+			r.Kernel, r.Bits, r.NsPerOp, r.TimeMs, r.InstructionsG, r.Bottleneck, r.Verified)
+	}
+	tw.Flush()
+}
+
 // PrintInteropTable writes Figure 3's rows.
 func PrintInteropTable(w io.Writer, rows []InteropResult) {
 	fmt.Fprintln(w, "Figure 3: single-threaded aggregation across access paths (measured)")

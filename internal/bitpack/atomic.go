@@ -39,9 +39,11 @@ func (c Codec) SetAtomic(data []uint64, index uint64, value uint64) {
 	bitInChunk := (index % ChunkSize) * bitsPer
 	bitInWord := bitInChunk % 64
 	word := chunkStart + bitInChunk/64
-	word2 := chunkStart + (bitInChunk+bitsPer)/64
 	casUpdate(word, c.mask<<bitInWord, value<<bitInWord)
-	if word != word2 && word2 < chunkStart+c.wordsPerChunk {
-		casUpdate(word2, c.mask>>(64-bitInWord), value>>(64-bitInWord))
+	// Only CAS the second word when the element truly straddles the
+	// boundary; a no-op CAS on a word the element does not occupy would
+	// still contend with that word's legitimate writers (see Set).
+	if bitInWord+bitsPer > 64 {
+		casUpdate(word+1, c.mask>>(64-bitInWord), value>>(64-bitInWord))
 	}
 }

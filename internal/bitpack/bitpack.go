@@ -137,12 +137,15 @@ func (c Codec) Set(data []uint64, index uint64, value uint64) {
 	bitInChunk := (index % ChunkSize) * bitsPer
 	bitInWord := bitInChunk % 64
 	word := chunkStart + bitInChunk/64
-	word2 := chunkStart + (bitInChunk+bitsPer)/64 // F2 line 2
 	// F2 line 4: clear the slot then or in the low part of the value.
 	data[word] = data[word]&^(c.mask<<bitInWord) | value<<bitInWord
-	if word != word2 && word2 < chunkStart+c.wordsPerChunk { // F2 line 5
-		// F2 line 6: the spill-over part in the next word.
-		data[word2] = data[word2]&^(c.mask>>(64-bitInWord)) | value>>(64-bitInWord)
+	// F2 lines 5-6: the spill-over part in the next word. The element only
+	// occupies a second word when it truly straddles the boundary; an element
+	// that *ends exactly on* a word boundary must not touch the next word —
+	// a read-modify-write there, even a no-op one, races with a concurrent
+	// writer that legitimately owns that word (disjoint-range parallel Init).
+	if bitInWord+bitsPer > 64 {
+		data[word+1] = data[word+1]&^(c.mask>>(64-bitInWord)) | value>>(64-bitInWord)
 	}
 }
 

@@ -159,6 +159,24 @@ func (op CmpOp) String() string {
 	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
 }
 
+// cmp maps the operator to the bitpack fused-kernel predicate.
+func (op CmpOp) cmp() bitpack.Cmp {
+	switch op {
+	case Eq:
+		return bitpack.CmpEq
+	case Ne:
+		return bitpack.CmpNe
+	case Lt:
+		return bitpack.CmpLt
+	case Le:
+		return bitpack.CmpLe
+	case Gt:
+		return bitpack.CmpGt
+	default:
+		return bitpack.CmpGe
+	}
+}
+
 // Pred is a column-versus-constant predicate; predicates in a query are
 // conjunctive (AND).
 type Pred struct {
@@ -236,9 +254,12 @@ func (s *aggState) result() uint64 {
 }
 
 // Aggregate evaluates `SELECT agg(column) WHERE preds...` with a parallel
-// chunk-at-a-time scan: predicate columns and the aggregated column are
-// unpacked per batch through the bounded-map path, exactly the scan shape
-// §5.1 models.
+// scan. Unpredicated sum/max/min queries and single-predicate counts route
+// through the fused packed-scan kernels (core.ReduceRange/CountRange):
+// whole chunks are folded word-at-a-time without materializing decoded
+// elements. Everything else falls back to the per-row scan, with
+// per-worker partial states merged once after the loop rather than a
+// mutex acquisition per batch.
 func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error) {
 	target, err := t.Column(column)
 	if err != nil {
@@ -249,10 +270,39 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 		return 0, err
 	}
 
-	var mu sync.Mutex
-	total := newAggState(agg)
+	// Fused fast paths.
+	if len(preds) == 0 {
+		switch agg {
+		case Count:
+			return t.rows, nil
+		case Sum:
+			return t.rt.ReduceSum(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+				return core.ReduceRange(target.arr, w.Socket, lo, hi, core.ReduceSum)
+			}), nil
+		case Min, Max:
+			op := core.ReduceMax
+			if agg == Min {
+				op = core.ReduceMin
+			}
+			return t.reduceMinMax(target.arr, op), nil
+		}
+	}
+	if len(preds) == 1 && agg == Count {
+		// A count only depends on the predicate column.
+		pc, op, threshold := predCols[0], preds[0].Op.cmp(), preds[0].Value
+		return t.rt.ReduceSum(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			return core.CountRange(pc.arr, w.Socket, lo, hi, op, threshold)
+		}), nil
+	}
+
+	// General path: per-row predicate evaluation with per-worker partial
+	// aggregation states, merged once per worker after the loop barrier.
+	locals := make([]aggState, len(t.rt.Workers()))
+	for i := range locals {
+		locals[i] = newAggState(agg)
+	}
 	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
-		local := newAggState(agg)
+		local := &locals[w.ID]
 		targetRep := target.arr.GetReplica(w.Socket)
 		reps := make([][]uint64, len(predCols))
 		for i, pc := range predCols {
@@ -270,11 +320,45 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 				local.add(target.arr.Get(targetRep, row))
 			}
 		}
-		mu.Lock()
-		total.merge(local)
-		mu.Unlock()
 	})
+	total := newAggState(agg)
+	for i := range locals {
+		total.merge(locals[i])
+	}
 	return total.result(), nil
+}
+
+// reduceMinMax runs a fused min/max reduction with per-worker partials.
+func (t *Table) reduceMinMax(arr *core.SmartArray, op core.ReduceOp) uint64 {
+	identity := uint64(0)
+	if op == core.ReduceMin {
+		identity = ^uint64(0)
+	}
+	partials := make([]uint64, len(t.rt.Workers()))
+	for i := range partials {
+		partials[i] = identity
+	}
+	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
+		v := core.ReduceRange(arr, w.Socket, lo, hi, op)
+		if op == core.ReduceMin {
+			if v < partials[w.ID] {
+				partials[w.ID] = v
+			}
+		} else if v > partials[w.ID] {
+			partials[w.ID] = v
+		}
+	})
+	result := identity
+	for _, v := range partials {
+		if op == core.ReduceMin {
+			if v < result {
+				result = v
+			}
+		} else if v > result {
+			result = v
+		}
+	}
+	return result
 }
 
 // GroupBy evaluates `SELECT key, agg(column) GROUP BY key WHERE preds...`

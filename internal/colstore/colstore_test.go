@@ -289,3 +289,49 @@ func TestQuickAggregate(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAggregateFastPathsMatchGeneralScan pins the fused fast paths (no
+// predicates; one predicate + COUNT) to the per-row reference.
+func TestAggregateFastPathsMatchGeneralScan(t *testing.T) {
+	f := newFixture(t, 20_000, memsim.Interleaved)
+	var wantSum uint64
+	wantMin, wantMax := ^uint64(0), uint64(0)
+	for _, v := range f.price {
+		wantSum += v
+		if v < wantMin {
+			wantMin = v
+		}
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	noPred := map[Agg]uint64{
+		Count: uint64(len(f.price)), Sum: wantSum, Min: wantMin, Max: wantMax,
+	}
+	for agg, want := range noPred {
+		got, err := f.table.Aggregate(agg, "price")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("no-pred agg %d = %d, want %d", agg, got, want)
+		}
+	}
+	// One predicate + COUNT only touches the predicate column.
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		const thr = 500
+		var want uint64
+		for _, q := range f.qty {
+			if op.eval(q, thr) {
+				want++
+			}
+		}
+		got, err := f.table.Aggregate(Count, "price", Pred{Column: "qty", Op: op, Value: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("count op %d = %d, want %d", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"smartarrays/internal/bitpack"
+)
+
+// Fused reductions: the scan-aggregate hot path (paper Function 4) routed
+// through the word-at-a-time kernels in internal/bitpack. A range [lo, hi)
+// decomposes into a ragged head (lo up to the next chunk boundary), a run
+// of whole chunks, and a ragged tail; the head and tail — at most 63
+// elements each — go through Codec.Get, the whole chunks through the fused
+// kernel, so the per-element decode-into-a-buffer of the iterator path
+// disappears from the dominant middle section.
+
+// ReduceOp selects the fold of ReduceRange.
+type ReduceOp int
+
+// Reduction operators. The identity returned for an empty range is 0 for
+// ReduceSum and ReduceMax and ^uint64(0) for ReduceMin.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	ReduceMin
+)
+
+// String renders the operator.
+func (op ReduceOp) String() string {
+	return [...]string{"sum", "max", "min"}[op]
+}
+
+// rangeParts splits [lo, hi) into a head [lo, headEnd), whole chunks
+// [chunkLo, chunkHi), and a tail [tailStart, hi). Head and tail are handled
+// per element; for ranges inside a single chunk everything lands in the
+// head (headEnd == hi, chunkLo == chunkHi).
+func rangeParts(lo, hi uint64) (headEnd, chunkLo, chunkHi, tailStart uint64) {
+	chunkLo = (lo + bitpack.ChunkSize - 1) / bitpack.ChunkSize
+	chunkHi = hi / bitpack.ChunkSize
+	if chunkLo >= chunkHi {
+		// No whole chunk inside the range: one per-element pass.
+		return hi, 0, 0, hi
+	}
+	return chunkLo * bitpack.ChunkSize, chunkLo, chunkHi, chunkHi * bitpack.ChunkSize
+}
+
+func (a *SmartArray) checkRange(lo, hi uint64) {
+	if hi > a.length {
+		panic(fmt.Sprintf("core: range [%d,%d) out of bounds [0,%d)", lo, hi, a.length))
+	}
+}
+
+// ReduceRange folds elements [lo, hi) with op for a reader on socket,
+// dispatching whole chunks to the fused bitpack kernels (SumChunks,
+// MaxChunks, MinChunks) and the ragged head/tail to Codec.Get.
+func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
+	identity := uint64(0)
+	if op == ReduceMin {
+		identity = ^uint64(0)
+	}
+	if lo >= hi {
+		return identity
+	}
+	a.checkRange(lo, hi)
+	replica := a.GetReplica(socket)
+	codec := a.codec
+	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
+
+	acc := identity
+	fold := func(v uint64) {
+		switch op {
+		case ReduceSum:
+			acc += v
+		case ReduceMax:
+			if v > acc {
+				acc = v
+			}
+		default:
+			if v < acc {
+				acc = v
+			}
+		}
+	}
+	for i := lo; i < headEnd; i++ {
+		fold(codec.Get(replica, i))
+	}
+	if chunkLo < chunkHi {
+		switch op {
+		case ReduceSum:
+			acc += codec.SumChunks(replica, chunkLo, chunkHi)
+		case ReduceMax:
+			fold(codec.MaxChunks(replica, chunkLo, chunkHi))
+		default:
+			fold(codec.MinChunks(replica, chunkLo, chunkHi))
+		}
+	}
+	for i := tailStart; i < hi; i++ {
+		fold(codec.Get(replica, i))
+	}
+	return acc
+}
+
+// CountRange counts elements v in [lo, hi) satisfying "v op threshold" for
+// a reader on socket, dispatching whole chunks to the fused CountWhere
+// kernel.
+func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	if lo >= hi {
+		return 0
+	}
+	a.checkRange(lo, hi)
+	replica := a.GetReplica(socket)
+	codec := a.codec
+	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
+
+	var count uint64
+	for i := lo; i < headEnd; i++ {
+		if op.Eval(codec.Get(replica, i), threshold) {
+			count++
+		}
+	}
+	count += codec.CountWhere(replica, chunkLo, chunkHi, op, threshold)
+	for i := tailStart; i < hi; i++ {
+		if op.Eval(codec.Get(replica, i), threshold) {
+			count++
+		}
+	}
+	return count
+}
+
+// FoldRange folds an arbitrary accumulator function over [lo, hi) for a
+// reader on socket, decoding chunk-at-a-time (the bounded-map path). It is
+// the escape hatch for folds that have no fused kernel; known folds should
+// use ReduceRange/CountRange.
+func FoldRange(a *SmartArray, socket int, lo, hi uint64, acc uint64, fn func(acc, v uint64) uint64) uint64 {
+	Map(a, socket, lo, hi, func(_, v uint64) { acc = fn(acc, v) })
+	return acc
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+// reduceFixture allocates and fills an array of n deterministic values at
+// the given width.
+func reduceFixture(t *testing.T, bits uint, n uint64) (*SmartArray, []uint64) {
+	t.Helper()
+	mem := memsim.New(machine.UMA(2))
+	a, err := Allocate(mem, Config{Length: n, Bits: bits, Placement: memsim.Interleaved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Free)
+	mask := a.Codec().Mask()
+	values := make([]uint64, n)
+	state := uint64(bits) * 0x9E3779B97F4A7C15
+	for i := uint64(0); i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := state & mask
+		if i%7 == 0 {
+			v = mask // exercise all-ones slots
+		}
+		values[i] = v
+		a.Init(0, i, v)
+	}
+	return a, values
+}
+
+// reduceRanges are the [lo, hi) shapes every equivalence test sweeps:
+// empty, head-only, chunk-aligned, ragged head, ragged tail, both ragged,
+// and full range (n = 3 chunks + ragged tail).
+func reduceRanges(n uint64) [][2]uint64 {
+	return [][2]uint64{
+		{0, 0}, {5, 5}, {3, 17}, {0, 64}, {64, 128}, {10, 70},
+		{0, 100}, {60, n}, {1, n - 1}, {0, n},
+	}
+}
+
+// TestReduceRangeMatchesIteratorAllWidths checks the fused dispatch
+// against the iterator reference for every width 1..64, including ragged
+// heads and tails handled via Codec.Get.
+func TestReduceRangeMatchesIteratorAllWidths(t *testing.T) {
+	const n = 3*bitpack.ChunkSize + 21
+	for bits := uint(1); bits <= 64; bits++ {
+		a, values := reduceFixture(t, bits, n)
+		for _, r := range reduceRanges(n) {
+			lo, hi := r[0], r[1]
+			if got, want := SumRange(a, 0, lo, hi), SumRangeIter(a, 0, lo, hi); got != want {
+				t.Fatalf("bits=%d [%d,%d): SumRange = %d, iterator = %d", bits, lo, hi, got, want)
+			}
+			var wantMax uint64
+			wantMin := ^uint64(0)
+			for i := lo; i < hi; i++ {
+				if values[i] > wantMax {
+					wantMax = values[i]
+				}
+				if values[i] < wantMin {
+					wantMin = values[i]
+				}
+			}
+			if got := ReduceRange(a, 0, lo, hi, ReduceMax); got != wantMax {
+				t.Fatalf("bits=%d [%d,%d): ReduceMax = %d, want %d", bits, lo, hi, got, wantMax)
+			}
+			if got := ReduceRange(a, 0, lo, hi, ReduceMin); got != wantMin {
+				t.Fatalf("bits=%d [%d,%d): ReduceMin = %d, want %d", bits, lo, hi, got, wantMin)
+			}
+		}
+	}
+}
+
+// TestCountRangeMatchesReferenceAllWidths checks the fused count against a
+// per-element reference for every width and operator over ragged ranges.
+func TestCountRangeMatchesReferenceAllWidths(t *testing.T) {
+	const n = 3*bitpack.ChunkSize + 21
+	ops := []bitpack.Cmp{bitpack.CmpEq, bitpack.CmpNe, bitpack.CmpLt, bitpack.CmpLe, bitpack.CmpGt, bitpack.CmpGe}
+	for bits := uint(1); bits <= 64; bits++ {
+		a, values := reduceFixture(t, bits, n)
+		thr := a.Codec().Mask() / 2
+		for _, r := range reduceRanges(n) {
+			lo, hi := r[0], r[1]
+			for _, op := range ops {
+				var want uint64
+				for i := lo; i < hi; i++ {
+					if op.Eval(values[i], thr) {
+						want++
+					}
+				}
+				if got := CountRange(a, 0, lo, hi, op, thr); got != want {
+					t.Fatalf("bits=%d [%d,%d) op %s: CountRange = %d, want %d",
+						bits, lo, hi, op, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFoldRangeMatchesSum: the generic fold agrees with the fused sum.
+func TestFoldRangeMatchesSum(t *testing.T) {
+	a, _ := reduceFixture(t, 33, 200)
+	got := FoldRange(a, 0, 5, 190, 0, func(acc, v uint64) uint64 { return acc + v })
+	if want := SumRange(a, 0, 5, 190); got != want {
+		t.Errorf("FoldRange sum = %d, want %d", got, want)
+	}
+}
+
+// TestReduceRangeIdentities: empty ranges return the fold identities.
+func TestReduceRangeIdentities(t *testing.T) {
+	a, _ := reduceFixture(t, 12, 100)
+	if got := ReduceRange(a, 0, 10, 10, ReduceSum); got != 0 {
+		t.Errorf("empty sum = %d", got)
+	}
+	if got := ReduceRange(a, 0, 10, 10, ReduceMax); got != 0 {
+		t.Errorf("empty max = %d", got)
+	}
+	if got := ReduceRange(a, 0, 10, 10, ReduceMin); got != ^uint64(0) {
+		t.Errorf("empty min = %d", got)
+	}
+}
+
+// TestReduceRangePanicsOutOfBounds mirrors Get's bounds contract.
+func TestReduceRangePanicsOutOfBounds(t *testing.T) {
+	a, _ := reduceFixture(t, 8, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for hi > length")
+		}
+	}()
+	ReduceRange(a, 0, 0, 101, ReduceSum)
+}
+
+// TestReduceRangeUsesReaderReplica: a replicated array serves the fused
+// reduction from the reader's socket replica.
+func TestReduceRangeUsesReaderReplica(t *testing.T) {
+	mem := memsim.New(machine.X52Small())
+	a, err := Allocate(mem, Config{Length: 256, Bits: 17, Placement: memsim.Replicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Free()
+	for i := uint64(0); i < 256; i++ {
+		a.Init(0, i, i)
+	}
+	want := SumRangeIter(a, 0, 0, 256)
+	for socket := 0; socket < 2; socket++ {
+		if got := SumRange(a, socket, 0, 256); got != want {
+			t.Errorf("socket %d: sum = %d, want %d", socket, got, want)
+		}
+	}
+}

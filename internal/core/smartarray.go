@@ -209,6 +209,21 @@ func (a *SmartArray) AccountScan(sh *counters.Shard, lo, hi uint64) {
 	sh.Instr(uint64(float64(n) * perfmodel.CostScan(a.codec.Bits())))
 }
 
+// AccountReduce charges the traffic and instructions of a fused reduction
+// over elements [lo, hi) (ReduceRange/CountRange): the same streaming
+// payload traffic as a scan, but the fused per-element decode+fold cost
+// instead of the iterator's.
+func (a *SmartArray) AccountReduce(sh *counters.Shard, lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := a.WordRange(lo, hi)
+	a.region.AccountScan(sh, loWord, hiWord-loWord)
+	n := hi - lo
+	sh.Access(n)
+	sh.Instr(uint64(float64(n) * perfmodel.CostReduce(a.codec.Bits())))
+}
+
 // AccountInit charges the traffic and instructions of initializing
 // elements [lo, hi): writes to every replica plus pack cost.
 func (a *SmartArray) AccountInit(sh *counters.Shard, lo, hi uint64) {

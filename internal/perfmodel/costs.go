@@ -30,6 +30,23 @@ const (
 	// CostInitU64 is instructions per element to initialize an
 	// uncompressed element; compressed init adds the pack cost.
 	CostInitU64 = 2.0
+
+	// Fused-reduction costs (bitpack.SumChunks and friends): the kernel
+	// folds each element into the accumulator as it is extracted from the
+	// packed word, so the iterator's buffer store/reload and per-element
+	// advance disappear.
+	//
+	// CostReduceU64 is instructions per element for the fused uncompressed
+	// 64-bit reduction (load, fold).
+	CostReduceU64 = 2.0
+	// CostReduceU32 is instructions per element for the fused 32-bit
+	// reduction (load amortized over two elements, shift/mask, fold).
+	CostReduceU32 = 3.0
+	// costReduceBase/costReducePerBit parameterize the fused compressed
+	// reduction: the unpack schedule's shift/mask/branch work remains, the
+	// chunk buffer traffic and the per-element iterator overhead do not.
+	costReduceBase   = 6.0
+	costReducePerBit = 0.25
 )
 
 // CostScan returns the modeled instructions per element for sequentially
@@ -44,6 +61,22 @@ func CostScan(bits uint) float64 {
 		return CostScanU32
 	default:
 		return costUnpackBase + costUnpackPerBit*float64(bits)
+	}
+}
+
+// CostReduce returns the modeled instructions per element for folding a
+// smart array stored at the given width through the fused packed-scan
+// kernels (bitpack.SumChunks/MaxChunks/CountWhere via core.ReduceRange).
+// It is strictly below CostScan at every width: the fused path decodes and
+// folds in one pass over the packed words.
+func CostReduce(bits uint) float64 {
+	switch bits {
+	case 64:
+		return CostReduceU64
+	case 32:
+		return CostReduceU32
+	default:
+		return costReduceBase + costReducePerBit*float64(bits)
 	}
 }
 

@@ -56,6 +56,10 @@ type Runtime struct {
 	// counting stays in goroutine-local state so recording never adds
 	// cross-worker synchronization to the hot path.
 	rec *obs.Recorder
+	// firstOnSocket[s] is the lowest worker ID pinned to socket s — the
+	// worker the single-batch ParallelFor path runs on, consistent with the
+	// stripe rule (batch 0 belongs to socket 0's stripe).
+	firstOnSocket []int
 }
 
 // New creates a runtime for the given machine with one worker per hardware
@@ -70,12 +74,20 @@ func New(spec *machine.Spec) *Runtime {
 		mem:     memsim.New(spec),
 		hostPar: runtime.GOMAXPROCS(0),
 	}
+	r.firstOnSocket = make([]int, spec.Sockets)
+	for s := range r.firstOnSocket {
+		r.firstOnSocket[s] = -1
+	}
 	for id := 0; id < spec.HWThreads(); id++ {
-		r.workers = append(r.workers, &Worker{
+		w := &Worker{
 			ID:       id,
 			Socket:   spec.SocketOf(id),
 			Counters: r.fabric.NewShard(spec.SocketOf(id)),
-		})
+		}
+		r.workers = append(r.workers, w)
+		if r.firstOnSocket[w.Socket] == -1 {
+			r.firstOnSocket[w.Socket] = id
+		}
 	}
 	return r
 }
@@ -124,8 +136,13 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 	sockets := uint64(r.spec.Sockets)
 
 	if numBatches == 1 {
-		body(r.workers[0], begin, end)
-		r.recordLoop(begin, end, g, func(claims []uint64) { claims[0] = 1 })
+		// Batch 0 belongs to socket 0's stripe (batch b -> socket b%sockets),
+		// so run it on that socket's first worker — the same placement the
+		// multi-batch path would produce — and attribute the claim to that
+		// worker's real ID so the loop event records the actual socket.
+		w := r.workers[r.firstOnSocket[0]]
+		body(w, begin, end)
+		r.recordLoop(begin, end, g, func(claims []uint64) { claims[w.ID] = 1 })
 		return
 	}
 
@@ -222,15 +239,50 @@ func (r *Runtime) SequentialFor(thread int, begin, end uint64, body func(w *Work
 	}
 }
 
+// paddedUint64 is a cache-line-sized accumulator slot: per-worker partials
+// live in their own lines so host-level false sharing cannot serialize the
+// reduction the simulation models as synchronization-free.
+type paddedUint64 struct {
+	v uint64
+	_ [56]byte
+}
+
+// paddedFloat64 is the float counterpart of paddedUint64.
+type paddedFloat64 struct {
+	v float64
+	_ [56]byte
+}
+
 // ReduceSum is a convenience wrapper for the paper's canonical aggregation
-// pattern: each worker computes a local sum over its batches and the
-// partial sums are combined at the end (one atomic per worker, not per
-// batch — matching Callisto's "local sum, atomically incremented at the end
-// of each loop batch" description at batch granularity).
+// pattern: each worker accumulates a private partial sum across all of its
+// batches, and the partials are combined once per worker after the loop
+// barrier — not one atomic per batch. Each slot is written only by its
+// owning worker's goroutine; ParallelFor's completion wait orders those
+// writes before the merge, so the reduction needs no atomics at all.
 func (r *Runtime) ReduceSum(begin, end uint64, grain int64, body func(w *Worker, lo, hi uint64) uint64) uint64 {
-	var total atomic.Uint64
+	partials := make([]paddedUint64, len(r.workers))
 	r.ParallelFor(begin, end, grain, func(w *Worker, lo, hi uint64) {
-		total.Add(body(w, lo, hi))
+		partials[w.ID].v += body(w, lo, hi)
 	})
-	return total.Load()
+	var total uint64
+	for i := range partials {
+		total += partials[i].v
+	}
+	return total
+}
+
+// ReduceSumFloat64 is ReduceSum for float partials — the shape of
+// PageRank's convergence-difference accumulation. Per-worker partials make
+// the result deterministic for a fixed worker count up to the final merge
+// order, which iterates workers in ID order.
+func (r *Runtime) ReduceSumFloat64(begin, end uint64, grain int64, body func(w *Worker, lo, hi uint64) float64) float64 {
+	partials := make([]paddedFloat64, len(r.workers))
+	r.ParallelFor(begin, end, grain, func(w *Worker, lo, hi uint64) {
+		partials[w.ID].v += body(w, lo, hi)
+	})
+	var total float64
+	for i := range partials {
+		total += partials[i].v
+	}
+	return total
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
 )
 
 func TestNewCreatesAllWorkers(t *testing.T) {
@@ -116,6 +117,61 @@ func TestReduceSum(t *testing.T) {
 	})
 	if got != want {
 		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceSumSingleBatch(t *testing.T) {
+	r := New(machine.X52Small())
+	got := r.ReduceSum(0, 10, 100, func(w *Worker, lo, hi uint64) uint64 {
+		return hi - lo
+	})
+	if got != 10 {
+		t.Errorf("sum = %d, want 10", got)
+	}
+}
+
+func TestReduceSumFloat64(t *testing.T) {
+	r := New(machine.X52Small())
+	const n = 1 << 16
+	got := r.ReduceSumFloat64(0, n, 1024, func(w *Worker, lo, hi uint64) float64 {
+		return float64(hi - lo)
+	})
+	if got != n {
+		t.Errorf("sum = %v, want %d", got, n)
+	}
+}
+
+func TestParallelForSingleBatchRunsOnSocketZeroWorker(t *testing.T) {
+	// Batch 0 belongs to socket 0's stripe, so the degenerate single-batch
+	// loop must execute on a socket-0 worker and attribute its claim to
+	// that worker's real ID in the loop event.
+	r := New(machine.X52Small())
+	rec := obs.NewRecorder(0)
+	r.SetRecorder(rec)
+	var gotWorker *Worker
+	r.ParallelFor(0, 10, 100, func(w *Worker, lo, hi uint64) { gotWorker = w })
+	if gotWorker == nil {
+		t.Fatal("body not called")
+	}
+	if gotWorker.Socket != 0 {
+		t.Errorf("single batch ran on socket %d, want 0", gotWorker.Socket)
+	}
+	events := rec.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ls := events[0].Loop
+	if ls == nil {
+		t.Fatalf("event %v is not a loop event", events[0].Kind)
+	}
+	for id, claims := range ls.BatchesPerWorker {
+		want := uint64(0)
+		if id == gotWorker.ID {
+			want = 1
+		}
+		if claims != want {
+			t.Errorf("claims[%d] = %d, want %d", id, claims, want)
+		}
 	}
 }
 
