@@ -87,32 +87,82 @@ func RunFusedKernels(opts Options) ([]KernelResult, error) {
 			}
 		}
 		countOK := count == wantCount
+
+		// Selection-bitmap kernels: a mask build verified against the
+		// per-element count, then a two-predicate masked sum at roughly
+		// 50% selectivity. Thresholds derive from the effective value
+		// range (initFormula tops out near the element count), so the
+		// predicates stay selective at every width.
+		effMax := mask
+		if opts.Elements-1 < effMax {
+			effMax = opts.Elements - 1
+		}
+		maskThr := effMax / 2
+		matched := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			a.AccountReduce(w.Counters, lo, hi)
+			_, n := core.MaskChunks(lo, hi)
+			masks := make([]uint64, n)
+			core.MaskRange(a, w.Socket, lo, hi, bitpack.CmpLe, maskThr, masks)
+			return bitpack.PopcountMasks(masks)
+		})
+		loThr, hiThr := effMax/4, 3*effMax/4
+		maskedSum := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			a.AccountReduce(w.Counters, lo, hi)
+			_, n := core.MaskChunks(lo, hi)
+			masks := make([]uint64, n)
+			live := core.MaskRange(a, w.Socket, lo, hi, bitpack.CmpGe, loThr, masks)
+			if live {
+				live = core.MaskRangeAnd(a, w.Socket, lo, hi, bitpack.CmpLe, hiThr, masks)
+			}
+			if !live {
+				return 0
+			}
+			return core.ReduceRangeMasked(a, w.Socket, lo, hi, core.ReduceSum, masks)
+		})
+		var wantMatched, wantMaskedSum uint64
+		for i := uint64(0); i < opts.Elements; i++ {
+			v := a.Get(rep, i)
+			if v <= maskThr {
+				wantMatched++
+			}
+			if v >= loThr && v <= hiThr {
+				wantMaskedSum += v
+			}
+		}
+		maskOK := matched == wantMatched
+		maskedSumOK := maskedSum == wantMaskedSum
 		a.Free()
 
-		if opts.Verify && (!sumOK || !countOK) {
-			return nil, fmt.Errorf("bench: fused kernel mismatch at %d bits (sum ok=%v, count ok=%v)",
-				bits, sumOK, countOK)
+		if opts.Verify && (!sumOK || !countOK || !maskOK || !maskedSumOK) {
+			return nil, fmt.Errorf("bench: kernel mismatch at %d bits (sum ok=%v, count ok=%v, mask ok=%v, masked-sum ok=%v)",
+				bits, sumOK, countOK, maskOK, maskedSumOK)
 		}
 
 		rows = append(rows,
-			modelKernel(spec, "fused-sum", bits, 0, sumOK),
+			modelKernel(spec, "fused-sum", bits, perfmodel.CostReduce(bits), 1, sumOK),
 			// The count adds one compare per element on top of the fused
 			// decode+fold.
-			modelKernel(spec, "fused-count", bits, 1, countOK),
+			modelKernel(spec, "fused-count", bits, perfmodel.CostReduce(bits)+1, 1, countOK),
+			// One predicate pass into a selection bitmap.
+			modelKernel(spec, "mask-build", bits, perfmodel.CostMask(bits), 1, maskOK),
+			// Two mask passes plus the masked fold over the surviving
+			// half of the chunks: three payload reads end to end.
+			modelKernel(spec, "masked-sum", bits,
+				2*perfmodel.CostMask(bits)+0.5*perfmodel.CostMaskedReduce(bits), 3, maskedSumOK),
 		)
 	}
 	return rows, nil
 }
 
-// modelKernel evaluates the paper-scale fused reduction for one cell:
-// one streaming read of the packed payload, CostReduce (+extra)
+// modelKernel evaluates the paper-scale kernel for one cell: readPasses
+// streaming reads of the packed payload at instrPerElem modeled
 // instructions per element.
-func modelKernel(spec *machine.Spec, kernel string, bits uint, extraInstr float64, verified bool) KernelResult {
+func modelKernel(spec *machine.Spec, kernel string, bits uint, instrPerElem, readPasses float64, verified bool) KernelResult {
 	codec := bitpack.MustNew(bits)
 	w := perfmodel.Workload{
-		Instructions: float64(PaperAggElements) * (perfmodel.CostReduce(bits) + extraInstr),
+		Instructions: float64(PaperAggElements) * instrPerElem,
 		Streams: []perfmodel.Stream{
-			{Kind: perfmodel.Read, Bytes: float64(codec.CompressedBytes(PaperAggElements)), Placement: memsim.Interleaved},
+			{Kind: perfmodel.Read, Bytes: readPasses * float64(codec.CompressedBytes(PaperAggElements)), Placement: memsim.Interleaved},
 		},
 	}
 	res := perfmodel.Solve(spec, w)

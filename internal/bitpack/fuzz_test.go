@@ -7,6 +7,57 @@ import (
 
 // FuzzRoundTrip packs fuzzer-chosen values at a fuzzer-chosen width and
 // verifies Get, Unpack, and UnpackSlice agree with the input.
+// FuzzCmpMask packs fuzzer-chosen values at a fuzzer-chosen width and
+// verifies CmpMaskChunk against per-element Get + Eval for a
+// fuzzer-chosen operator and (unclamped, possibly out-of-range)
+// threshold, along with the masked sum against its reference.
+func FuzzCmpMask(f *testing.F) {
+	f.Add(uint8(13), uint8(2), uint64(100), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(uint8(32), uint8(0), uint64(0), []byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add(uint8(64), uint8(5), ^uint64(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, width, opRaw uint8, threshold uint64, raw []byte) {
+		bits := uint(width%64) + 1
+		op := Cmp(opRaw % 6)
+		c := MustNew(bits)
+		n := len(raw) / 8
+		if n == 0 {
+			return
+		}
+		if n > 300 {
+			n = 300
+		}
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = binary.LittleEndian.Uint64(raw[i*8:]) & c.Mask()
+		}
+		data := c.PackSlice(values)
+		chunks := (uint64(n) + ChunkSize - 1) / ChunkSize
+		masks := make([]uint64, chunks)
+		for ch := uint64(0); ch < chunks; ch++ {
+			masks[ch] = c.CmpMaskChunk(data, ch, op, threshold)
+			for i := 0; i < ChunkSize; i++ {
+				// Padding elements beyond n decode as zeros; the
+				// reference uses the same packed data, so they agree.
+				got := masks[ch]>>uint(i)&1 == 1
+				want := op.Eval(c.Get(data, ch*ChunkSize+uint64(i)), threshold)
+				if got != want {
+					t.Fatalf("bits=%d op=%s thr=%d: element %d selected=%v, want %v",
+						bits, op, threshold, ch*ChunkSize+uint64(i), got, want)
+				}
+			}
+		}
+		var want uint64
+		for i := uint64(0); i < chunks*ChunkSize; i++ {
+			if masks[i/ChunkSize]>>(i%ChunkSize)&1 == 1 {
+				want += c.Get(data, i)
+			}
+		}
+		if got := c.SumChunksMasked(data, 0, chunks, masks); got != want {
+			t.Fatalf("bits=%d op=%s thr=%d: SumChunksMasked = %d, want %d", bits, op, threshold, got, want)
+		}
+	})
+}
+
 func FuzzRoundTrip(f *testing.F) {
 	f.Add(uint8(33), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	f.Add(uint8(1), []byte{255, 255})

@@ -1,0 +1,313 @@
+// Selection-bitmap kernels: predicate evaluation over packed words that
+// emits 64-bit match masks, plus masked folds that consume them.
+//
+// Predicated scans (Aggregate with multiple predicates, GroupBy) were the
+// last per-element hot path: one virtual Get per row per predicate column.
+// The kernels here keep the paper's chunk discipline — a chunk of 64
+// elements maps exactly onto one 64-bit mask word — and evaluate the
+// comparison during the same single pass over the packed words that the
+// fused fold kernels use. Downstream, masks from several predicate columns
+// AND together word-at-a-time, all-zero words short-circuit whole chunks,
+// and the masked folds touch only surviving chunks (full-mask chunks
+// degrade to the unmasked fused kernels, sparse masks to bit-iteration).
+//
+// All mask kernels operate on whole chunks; callers (core.MaskRange) clear
+// the boundary bits of ragged range heads and tails. Reading a whole chunk
+// is always in bounds: the packed layout rounds allocations up to whole
+// chunks (Codec.WordsFor), so the padding elements of a final partial
+// chunk decode as zeros.
+
+package bitpack
+
+import "math/bits"
+
+// CmpMaskChunk evaluates "element op threshold" for all 64 elements of
+// chunk and returns the match mask: bit i is set iff element
+// chunk*ChunkSize+i satisfies the predicate. Each packed word is read
+// exactly once. The threshold may exceed the width's value range; the
+// constant outcomes that implies are resolved without touching the data.
+func (c Codec) CmpMaskChunk(data []uint64, chunk uint64, op Cmp, threshold uint64) uint64 {
+	// Canonicalize the six operators onto two data kernels (v == t and
+	// v < t) plus complements: Le/Gt shift the threshold by one, and
+	// out-of-range thresholds become constant masks.
+	switch op {
+	case CmpEq:
+		if !c.Fits(threshold) {
+			return 0
+		}
+		return c.cmpMaskChunk(data, chunk, true, threshold)
+	case CmpNe:
+		if !c.Fits(threshold) {
+			return ^uint64(0)
+		}
+		return ^c.cmpMaskChunk(data, chunk, true, threshold)
+	case CmpLt:
+		if threshold == 0 {
+			return 0
+		}
+		if threshold > c.mask {
+			return ^uint64(0)
+		}
+		return c.cmpMaskChunk(data, chunk, false, threshold)
+	case CmpGe:
+		if threshold == 0 {
+			return ^uint64(0)
+		}
+		if threshold > c.mask {
+			return 0
+		}
+		return ^c.cmpMaskChunk(data, chunk, false, threshold)
+	case CmpLe: // v <= t  ⇔  v < t+1
+		if threshold >= c.mask {
+			return ^uint64(0)
+		}
+		return c.cmpMaskChunk(data, chunk, false, threshold+1)
+	default: // CmpGt: v > t  ⇔  !(v < t+1)
+		if threshold >= c.mask {
+			return 0
+		}
+		return ^c.cmpMaskChunk(data, chunk, false, threshold+1)
+	}
+}
+
+// cmpMaskChunk builds the mask for the two canonical predicates
+// (eq: v == threshold, otherwise v < threshold) with the usual 32/64-bit
+// fast paths and the generic packed-word schedule. Written longhand like
+// SumChunks: this is the inner loop of every predicated scan.
+func (c Codec) cmpMaskChunk(data []uint64, chunk uint64, eq bool, threshold uint64) uint64 {
+	var m uint64
+	switch c.bits {
+	case 64:
+		base := chunk * ChunkSize
+		if eq {
+			for i, w := range data[base : base+ChunkSize] {
+				if w == threshold {
+					m |= 1 << uint(i)
+				}
+			}
+		} else {
+			for i, w := range data[base : base+ChunkSize] {
+				if w < threshold {
+					m |= 1 << uint(i)
+				}
+			}
+		}
+		return m
+	case 32:
+		base := chunk * 32
+		if eq {
+			for i, w := range data[base : base+32] {
+				if w&0xFFFFFFFF == threshold {
+					m |= 1 << uint(2*i)
+				}
+				if w>>32 == threshold {
+					m |= 1 << uint(2*i+1)
+				}
+			}
+		} else {
+			for i, w := range data[base : base+32] {
+				if w&0xFFFFFFFF < threshold {
+					m |= 1 << uint(2*i)
+				}
+				if w>>32 < threshold {
+					m |= 1 << uint(2*i+1)
+				}
+			}
+		}
+		return m
+	}
+	bitsPer := uint64(c.bits)
+	word := chunk * c.wordsPerChunk
+	value := data[word]
+	bitInWord := uint64(0)
+	for i := 0; i < ChunkSize; i++ {
+		var v uint64
+		switch {
+		case bitInWord+bitsPer < 64:
+			v = (value >> bitInWord) & c.mask
+			bitInWord += bitsPer
+		case bitInWord+bitsPer == 64:
+			v = (value >> bitInWord) & c.mask
+			bitInWord = 0
+			word++
+			if i < ChunkSize-1 {
+				value = data[word]
+			}
+		default:
+			next := data[word+1]
+			v = c.mask & ((value >> bitInWord) | (next << (64 - bitInWord)))
+			bitInWord = bitInWord + bitsPer - 64
+			word++
+			value = next
+		}
+		if eq {
+			if v == threshold {
+				m |= 1 << uint(i)
+			}
+		} else if v < threshold {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// AndMasks ANDs src into dst element-wise (the conjunction of two
+// predicates' selections) and reports whether any bit survives.
+func AndMasks(dst, src []uint64) bool {
+	var live uint64
+	for i := range dst {
+		dst[i] &= src[i]
+		live |= dst[i]
+	}
+	return live != 0
+}
+
+// PopcountMasks returns the total number of selected rows across masks.
+func PopcountMasks(masks []uint64) uint64 {
+	var n uint64
+	for _, m := range masks {
+		n += uint64(bits.OnesCount64(m))
+	}
+	return n
+}
+
+// AllZeroMasks reports whether no row is selected — the short-circuit that
+// lets a scan skip the target column (and further predicates) entirely.
+func AllZeroMasks(masks []uint64) bool {
+	var live uint64
+	for _, m := range masks {
+		live |= m
+	}
+	return live == 0
+}
+
+// maskSparseCutoff is the popcount below which a masked fold iterates set
+// bits with per-element Get instead of decoding the whole chunk. Get on a
+// generic width is ~10 instructions, a full chunk decode ~6 per element,
+// so the crossover sits well above this; 16 keeps the bit-iterating path
+// for the selectivities where it clearly wins.
+const maskSparseCutoff = 16
+
+// SumChunksMasked sums the selected elements of chunks [chunkLo, chunkHi);
+// masks[ch-chunkLo] selects within chunk ch. Dead chunks (mask 0) are
+// skipped without touching the data, full chunks take the unmasked fused
+// kernel, sparse masks iterate set bits, and everything else is one decode
+// pass with a branch-free conditional accumulate.
+func (c Codec) SumChunksMasked(data []uint64, chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var sum uint64
+	for ch := chunkLo; ch < chunkHi; ch++ {
+		m := masks[ch-chunkLo]
+		switch {
+		case m == 0:
+		case m == ^uint64(0):
+			sum += c.SumChunks(data, ch, ch+1)
+		case bits.OnesCount64(m) <= maskSparseCutoff:
+			base := ch * ChunkSize
+			for mm := m; mm != 0; mm &= mm - 1 {
+				sum += c.Get(data, base+uint64(bits.TrailingZeros64(mm)))
+			}
+		default:
+			sum += c.sumChunkMaskedDense(data, ch, m)
+		}
+	}
+	return sum
+}
+
+// sumChunkMaskedDense is the dense-mask sum of one chunk: a single decode
+// pass where each element is ANDed with an all-ones/all-zeros word derived
+// from its mask bit, so the accumulate carries no branch.
+func (c Codec) sumChunkMaskedDense(data []uint64, chunk uint64, m uint64) uint64 {
+	var sum uint64
+	switch c.bits {
+	case 64:
+		base := chunk * ChunkSize
+		for i, w := range data[base : base+ChunkSize] {
+			sum += w & -(m >> uint(i) & 1)
+		}
+		return sum
+	case 32:
+		base := chunk * 32
+		for i, w := range data[base : base+32] {
+			sum += (w & 0xFFFFFFFF) & -(m >> uint(2*i) & 1)
+			sum += (w >> 32) & -(m >> uint(2*i+1) & 1)
+		}
+		return sum
+	}
+	bitsPer := uint64(c.bits)
+	word := chunk * c.wordsPerChunk
+	value := data[word]
+	bitInWord := uint64(0)
+	for i := 0; i < ChunkSize; i++ {
+		var v uint64
+		switch {
+		case bitInWord+bitsPer < 64:
+			v = (value >> bitInWord) & c.mask
+			bitInWord += bitsPer
+		case bitInWord+bitsPer == 64:
+			v = (value >> bitInWord) & c.mask
+			bitInWord = 0
+			word++
+			if i < ChunkSize-1 {
+				value = data[word]
+			}
+		default:
+			next := data[word+1]
+			v = c.mask & ((value >> bitInWord) | (next << (64 - bitInWord)))
+			bitInWord = bitInWord + bitsPer - 64
+			word++
+			value = next
+		}
+		sum += v & -(m >> uint(i) & 1)
+	}
+	return sum
+}
+
+// MaxChunksMasked returns the maximum selected element of chunks
+// [chunkLo, chunkHi), or 0 when no bit is set (the unsigned max identity).
+func (c Codec) MaxChunksMasked(data []uint64, chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var max uint64
+	c.foldChunksMasked(data, chunkLo, chunkHi, masks, func(v uint64) {
+		if v > max {
+			max = v
+		}
+	})
+	return max
+}
+
+// MinChunksMasked returns the minimum selected element of chunks
+// [chunkLo, chunkHi), or ^uint64(0) when no bit is set.
+func (c Codec) MinChunksMasked(data []uint64, chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	min := ^uint64(0)
+	c.foldChunksMasked(data, chunkLo, chunkHi, masks, func(v uint64) {
+		if v < min {
+			min = v
+		}
+	})
+	return min
+}
+
+// foldChunksMasked feeds every selected element to fn in index order,
+// with the same chunk triage as SumChunksMasked.
+func (c Codec) foldChunksMasked(data []uint64, chunkLo, chunkHi uint64, masks []uint64, fn func(v uint64)) {
+	for ch := chunkLo; ch < chunkHi; ch++ {
+		m := masks[ch-chunkLo]
+		switch {
+		case m == 0:
+		case m == ^uint64(0):
+			c.foldChunks(data, ch, ch+1, fn)
+		case bits.OnesCount64(m) <= maskSparseCutoff:
+			base := ch * ChunkSize
+			for mm := m; mm != 0; mm &= mm - 1 {
+				fn(c.Get(data, base+uint64(bits.TrailingZeros64(mm))))
+			}
+		default:
+			i := 0
+			c.foldChunks(data, ch, ch+1, func(v uint64) {
+				if m>>uint(i)&1 != 0 {
+					fn(v)
+				}
+				i++
+			})
+		}
+	}
+}

@@ -253,13 +253,39 @@ func (s *aggState) result() uint64 {
 	}
 }
 
+// maskScratch returns a per-worker mask buffer of at least n words,
+// growing the worker's slot when a batch spans more chunks than any
+// previous one. Each slot is touched only by its owning worker.
+func maskScratch(slot *[]uint64, n uint64) []uint64 {
+	if uint64(cap(*slot)) < n {
+		*slot = make([]uint64, n)
+	}
+	return (*slot)[:n]
+}
+
+// buildMasks fills masks with the selection bitmap of the predicate
+// conjunction over rows [lo, hi) and reports whether any row survives.
+// The first predicate overwrites, later ones AND in with already-dead
+// chunks skipped, so low-selectivity leading predicates short-circuit the
+// rest of the pipeline.
+func buildMasks(socket int, lo, hi uint64, predCols []*Column, preds []Pred, masks []uint64) bool {
+	live := core.MaskRange(predCols[0].arr, socket, lo, hi, preds[0].Op.cmp(), preds[0].Value, masks)
+	for i := 1; i < len(preds) && live; i++ {
+		live = core.MaskRangeAnd(predCols[i].arr, socket, lo, hi, preds[i].Op.cmp(), preds[i].Value, masks)
+	}
+	return live
+}
+
 // Aggregate evaluates `SELECT agg(column) WHERE preds...` with a parallel
 // scan. Unpredicated sum/max/min queries and single-predicate counts route
-// through the fused packed-scan kernels (core.ReduceRange/CountRange):
-// whole chunks are folded word-at-a-time without materializing decoded
-// elements. Everything else falls back to the per-row scan, with
-// per-worker partial states merged once after the loop rather than a
-// mutex acquisition per batch.
+// through the fused packed-scan kernels (core.ReduceRange/CountRange).
+// Every other predicated query runs the selection-bitmap pipeline: each
+// predicate is evaluated chunk-at-a-time straight from its column's packed
+// words into 64-bit match masks (bitpack.CmpMaskChunk), the masks AND
+// across predicates with dead chunks short-circuiting later predicates,
+// and the surviving chunks feed the masked fused folds
+// (core.ReduceRangeMasked) — no per-row Get on any column. Per-worker
+// partial states merge once after the loop barrier.
 func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error) {
 	target, err := t.Column(column)
 	if err != nil {
@@ -295,19 +321,72 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 		}), nil
 	}
 
-	// General path: per-row predicate evaluation with per-worker partial
-	// aggregation states, merged once per worker after the loop barrier.
-	locals := make([]aggState, len(t.rt.Workers()))
+	// Selection-bitmap path.
+	workers := t.rt.Workers()
+	locals := make([]aggState, len(workers))
 	for i := range locals {
 		locals[i] = newAggState(agg)
 	}
+	scratch := make([][]uint64, len(workers))
+	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
+		_, n := core.MaskChunks(lo, hi)
+		masks := maskScratch(&scratch[w.ID], n)
+		if !buildMasks(w.Socket, lo, hi, predCols, preds, masks) {
+			return
+		}
+		local := &locals[w.ID]
+		local.count += bitpack.PopcountMasks(masks)
+		local.any = true
+		switch agg {
+		case Sum:
+			local.sum += core.ReduceRangeMasked(target.arr, w.Socket, lo, hi, core.ReduceSum, masks)
+		case Min:
+			if v := core.ReduceRangeMasked(target.arr, w.Socket, lo, hi, core.ReduceMin, masks); v < local.min {
+				local.min = v
+			}
+		case Max:
+			if v := core.ReduceRangeMasked(target.arr, w.Socket, lo, hi, core.ReduceMax, masks); v > local.max {
+				local.max = v
+			}
+		}
+		// Count needs no target fold: the popcount above already did it.
+	})
+	total := newAggState(agg)
+	for i := range locals {
+		total.merge(locals[i])
+	}
+	return total.result(), nil
+}
+
+// aggregateScalar is the pre-bitmap per-row general path (one virtual Get
+// per row per column), kept as the reference implementation the property
+// tests pin Aggregate against and the masked-vs-per-row benchmarks
+// measure.
+func (t *Table) aggregateScalar(agg Agg, column string, preds ...Pred) (uint64, error) {
+	target, err := t.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	predCols, err := t.resolvePreds(preds)
+	if err != nil {
+		return 0, err
+	}
+	workers := t.rt.Workers()
+	locals := make([]aggState, len(workers))
+	targetReps := make([][]uint64, len(workers))
+	predReps := make([][][]uint64, len(workers))
+	for i, w := range workers {
+		locals[i] = newAggState(agg)
+		targetReps[i] = target.arr.GetReplica(w.Socket)
+		predReps[i] = make([][]uint64, len(predCols))
+		for j, pc := range predCols {
+			predReps[i][j] = pc.arr.GetReplica(w.Socket)
+		}
+	}
 	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
 		local := &locals[w.ID]
-		targetRep := target.arr.GetReplica(w.Socket)
-		reps := make([][]uint64, len(predCols))
-		for i, pc := range predCols {
-			reps[i] = pc.arr.GetReplica(w.Socket)
-		}
+		targetRep := targetReps[w.ID]
+		reps := predReps[w.ID]
 		for row := lo; row < hi; row++ {
 			match := true
 			for i, pc := range predCols {
@@ -328,37 +407,18 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 	return total.result(), nil
 }
 
-// reduceMinMax runs a fused min/max reduction with per-worker partials.
+// reduceMinMax runs a fused min/max reduction through the runtime's
+// padded per-worker partials (rts.ReduceMin/ReduceMax), so the slots
+// cannot share cache lines.
 func (t *Table) reduceMinMax(arr *core.SmartArray, op core.ReduceOp) uint64 {
-	identity := uint64(0)
 	if op == core.ReduceMin {
-		identity = ^uint64(0)
+		return t.rt.ReduceMin(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			return core.ReduceRange(arr, w.Socket, lo, hi, core.ReduceMin)
+		})
 	}
-	partials := make([]uint64, len(t.rt.Workers()))
-	for i := range partials {
-		partials[i] = identity
-	}
-	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
-		v := core.ReduceRange(arr, w.Socket, lo, hi, op)
-		if op == core.ReduceMin {
-			if v < partials[w.ID] {
-				partials[w.ID] = v
-			}
-		} else if v > partials[w.ID] {
-			partials[w.ID] = v
-		}
+	return t.rt.ReduceMax(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+		return core.ReduceRange(arr, w.Socket, lo, hi, core.ReduceMax)
 	})
-	result := identity
-	for _, v := range partials {
-		if op == core.ReduceMin {
-			if v < result {
-				result = v
-			}
-		} else if v > result {
-			result = v
-		}
-	}
-	return result
 }
 
 // GroupBy evaluates `SELECT key, agg(column) GROUP BY key WHERE preds...`
@@ -368,8 +428,136 @@ type GroupRow struct {
 	Value uint64
 }
 
-// GroupBy runs the grouped aggregation.
+// denseKeyMaxBits bounds the slice-indexed GroupBy fast path: key columns
+// at most this wide (domain <= 4096 values) get one aggState slot per
+// possible key per worker instead of a hash map, and the per-worker state
+// vectors merge once after the loop barrier — no map lookups in the scan,
+// no mutex anywhere.
+const denseKeyMaxBits = 12
+
+// GroupBy runs the grouped aggregation. Predicates are evaluated through
+// the same selection-bitmap pipeline as Aggregate (per-chunk masks, AND
+// across predicates, dead chunks skipped); only the surviving rows pay the
+// key/target Gets. Narrow key columns take the dense slice-indexed path,
+// wide ones fall back to per-worker hash maps merged once after the loop.
 func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred) ([]GroupRow, error) {
+	key, err := t.Column(keyColumn)
+	if err != nil {
+		return nil, err
+	}
+	target, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	predCols, err := t.resolvePreds(preds)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := t.rt.Workers()
+	// Replicas resolved once per worker, not once per claimed batch.
+	keyReps := make([][]uint64, len(workers))
+	targetReps := make([][]uint64, len(workers))
+	for i, w := range workers {
+		keyReps[i] = key.arr.GetReplica(w.Socket)
+		targetReps[i] = target.arr.GetReplica(w.Socket)
+	}
+	scratch := make([][]uint64, len(workers))
+
+	// forEachMatch feeds every selected row of a batch to fn: the mask
+	// pipeline when predicates exist, a plain row loop otherwise.
+	forEachMatch := func(w *rts.Worker, lo, hi uint64, fn func(row uint64)) {
+		if len(preds) == 0 {
+			for row := lo; row < hi; row++ {
+				fn(row)
+			}
+			return
+		}
+		_, n := core.MaskChunks(lo, hi)
+		masks := maskScratch(&scratch[w.ID], n)
+		if !buildMasks(w.Socket, lo, hi, predCols, preds, masks) {
+			return
+		}
+		core.ForEachMasked(lo, hi, masks, fn)
+	}
+
+	if key.arr.Bits() <= denseKeyMaxBits {
+		// Dense-key fast path: slice-indexed per-worker state vectors.
+		domain := key.arr.Codec().MaxValue() + 1
+		states := make([][]aggState, len(workers))
+		t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
+			st := states[w.ID]
+			if st == nil {
+				st = make([]aggState, domain)
+				for k := range st {
+					st[k] = newAggState(agg)
+				}
+				states[w.ID] = st
+			}
+			keyRep, targetRep := keyReps[w.ID], targetReps[w.ID]
+			forEachMatch(w, lo, hi, func(row uint64) {
+				st[key.arr.Get(keyRep, row)].add(target.arr.Get(targetRep, row))
+			})
+		})
+		rows := make([]GroupRow, 0)
+		for k := uint64(0); k < domain; k++ {
+			total := newAggState(agg)
+			for _, st := range states {
+				if st != nil {
+					total.merge(st[k])
+				}
+			}
+			if total.count > 0 {
+				rows = append(rows, GroupRow{Key: k, Value: total.result()})
+			}
+		}
+		return rows, nil
+	}
+
+	// Wide keys: per-worker hash maps, merged once after the loop barrier.
+	localMaps := make([]map[uint64]*aggState, len(workers))
+	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
+		local := localMaps[w.ID]
+		if local == nil {
+			local = map[uint64]*aggState{}
+			localMaps[w.ID] = local
+		}
+		keyRep, targetRep := keyReps[w.ID], targetReps[w.ID]
+		forEachMatch(w, lo, hi, func(row uint64) {
+			k := key.arr.Get(keyRep, row)
+			st, ok := local[k]
+			if !ok {
+				s := newAggState(agg)
+				st = &s
+				local[k] = st
+			}
+			st.add(target.arr.Get(targetRep, row))
+		})
+	})
+	groups := map[uint64]*aggState{}
+	for _, local := range localMaps {
+		for k, st := range local {
+			g, ok := groups[k]
+			if !ok {
+				s := newAggState(agg)
+				g = &s
+				groups[k] = g
+			}
+			g.merge(*st)
+		}
+	}
+	rows := make([]GroupRow, 0, len(groups))
+	for k, st := range groups {
+		rows = append(rows, GroupRow{Key: k, Value: st.result()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows, nil
+}
+
+// groupByScalar is the pre-bitmap GroupBy (per-row predicate Gets, one
+// local map per batch merged under a mutex), kept as the reference the
+// property tests pin GroupBy against and the benchmarks measure.
+func (t *Table) groupByScalar(keyColumn string, agg Agg, column string, preds ...Pred) ([]GroupRow, error) {
 	key, err := t.Column(keyColumn)
 	if err != nil {
 		return nil, err

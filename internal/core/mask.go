@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/bits"
+
+	"smartarrays/internal/bitpack"
+)
+
+// Selection-bitmap scans: the predicated counterpart of the fused
+// reductions in reduce.go. A predicate over a range [lo, hi) becomes one
+// 64-bit match mask per covering chunk (bit j of mask c selects row
+// (firstChunk+c)*ChunkSize + j); masks from several predicate columns AND
+// together word-at-a-time, and the masked folds consume the conjunction,
+// skipping chunks whose mask went dead. Ragged range heads and tails are
+// handled here, not by the kernels: the kernels always evaluate whole
+// chunks (in bounds thanks to the chunk-rounded layout) and the boundary
+// bits outside [lo, hi) are cleared in the emitted masks, so a mask can
+// never select a row outside the range.
+
+// MaskChunks returns the first covering chunk and the number of chunks
+// (== mask words) a selection over [lo, hi) needs. For an empty range the
+// count is 0.
+func MaskChunks(lo, hi uint64) (firstChunk, numChunks uint64) {
+	if lo >= hi {
+		return lo / bitpack.ChunkSize, 0
+	}
+	first := lo / bitpack.ChunkSize
+	last := (hi - 1) / bitpack.ChunkSize
+	return first, last - first + 1
+}
+
+// MaskRange fills masks[0:numChunks] (see MaskChunks) with the match masks
+// of "element op threshold" over [lo, hi) for a reader on socket, clearing
+// bits outside the range, and reports whether any row matched.
+func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, masks []uint64) bool {
+	if lo >= hi {
+		return false
+	}
+	a.checkRange(lo, hi)
+	replica := a.GetReplica(socket)
+	codec := a.codec
+	first, n := MaskChunks(lo, hi)
+	for c := uint64(0); c < n; c++ {
+		masks[c] = codec.CmpMaskChunk(replica, first+c, op, threshold)
+	}
+	// Clamp the ragged head and tail: only the first and last covering
+	// chunks can have bits outside [lo, hi).
+	if head := lo - first*bitpack.ChunkSize; head != 0 {
+		masks[0] &= ^uint64(0) << head
+	}
+	if end := (first + n) * bitpack.ChunkSize; end > hi {
+		masks[n-1] &= ^uint64(0) >> (end - hi)
+	}
+	return !bitpack.AllZeroMasks(masks[:n])
+}
+
+// MaskRangeAnd evaluates the predicate over [lo, hi) and ANDs the result
+// into masks (as filled by a prior MaskRange over the same range),
+// skipping chunks whose mask is already dead, and reports whether any row
+// survives the conjunction. Because MaskRange cleared the out-of-range
+// boundary bits, no re-clamping is needed.
+func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, masks []uint64) bool {
+	if lo >= hi {
+		return false
+	}
+	a.checkRange(lo, hi)
+	replica := a.GetReplica(socket)
+	codec := a.codec
+	first, n := MaskChunks(lo, hi)
+	var live uint64
+	for c := uint64(0); c < n; c++ {
+		if masks[c] == 0 {
+			continue
+		}
+		masks[c] &= codec.CmpMaskChunk(replica, first+c, op, threshold)
+		live |= masks[c]
+	}
+	return live != 0
+}
+
+// ReduceRangeMasked folds the selected elements of [lo, hi) with op for a
+// reader on socket; masks must come from MaskRange/MaskRangeAnd over the
+// same [lo, hi). Chunks with a dead mask are skipped without touching the
+// data; full masks degrade to the unmasked fused kernels.
+func ReduceRangeMasked(a *SmartArray, socket int, lo, hi uint64, op ReduceOp, masks []uint64) uint64 {
+	identity := uint64(0)
+	if op == ReduceMin {
+		identity = ^uint64(0)
+	}
+	if lo >= hi {
+		return identity
+	}
+	a.checkRange(lo, hi)
+	replica := a.GetReplica(socket)
+	codec := a.codec
+	first, n := MaskChunks(lo, hi)
+	switch op {
+	case ReduceSum:
+		return codec.SumChunksMasked(replica, first, first+n, masks[:n])
+	case ReduceMax:
+		return codec.MaxChunksMasked(replica, first, first+n, masks[:n])
+	default:
+		return codec.MinChunksMasked(replica, first, first+n, masks[:n])
+	}
+}
+
+// ForEachMasked calls fn with every selected row index of [lo, hi) in
+// ascending order — the per-row escape hatch for consumers (like GroupBy)
+// that need the row position, not just a fold.
+func ForEachMasked(lo, hi uint64, masks []uint64, fn func(row uint64)) {
+	if lo >= hi {
+		return
+	}
+	first, n := MaskChunks(lo, hi)
+	for c := uint64(0); c < n; c++ {
+		base := (first + c) * bitpack.ChunkSize
+		for m := masks[c]; m != 0; m &= m - 1 {
+			fn(base + uint64(bits.TrailingZeros64(m)))
+		}
+	}
+}

@@ -47,6 +47,24 @@ const (
 	// chunk buffer traffic and the per-element iterator overhead do not.
 	costReduceBase   = 6.0
 	costReducePerBit = 0.25
+
+	// Selection-bitmap costs (bitpack.CmpMaskChunk and the masked folds):
+	// building a mask is the fused decode schedule plus one compare and a
+	// bit deposit per element; a masked fold is the fused fold plus the
+	// per-element mask test (the dense branch-free select), with dead and
+	// full chunks costing strictly less — these are the worst-case
+	// per-element constants.
+	//
+	// CostMaskU64/CostMaskU32 are instructions per element for the
+	// uncompressed mask builds (load, compare, shift/or the bit).
+	CostMaskU64 = 3.0
+	CostMaskU32 = 4.0
+	// costMaskBase/costMaskPerBit parameterize the compressed mask build.
+	costMaskBase   = 7.0
+	costMaskPerBit = 0.25
+	// costMaskedFoldExtra is the per-element mask test a masked fold adds
+	// on top of the fused reduction.
+	costMaskedFoldExtra = 1.0
 )
 
 // CostScan returns the modeled instructions per element for sequentially
@@ -78,6 +96,29 @@ func CostReduce(bits uint) float64 {
 	default:
 		return costReduceBase + costReducePerBit*float64(bits)
 	}
+}
+
+// CostMask returns the modeled instructions per element for evaluating a
+// threshold predicate over a packed chunk into a selection bitmap
+// (bitpack.CmpMaskChunk). It sits one compare above CostReduce at every
+// width and strictly below CostScan + compare: the mask build replaces the
+// per-row decode entirely.
+func CostMask(bits uint) float64 {
+	switch bits {
+	case 64:
+		return CostMaskU64
+	case 32:
+		return CostMaskU32
+	default:
+		return costMaskBase + costMaskPerBit*float64(bits)
+	}
+}
+
+// CostMaskedReduce returns the modeled instructions per element for a
+// masked fused fold (bitpack.SumChunksMasked and friends) over chunks that
+// actually decode — dead chunks are skipped and cost nothing.
+func CostMaskedReduce(bits uint) float64 {
+	return CostReduce(bits) + costMaskedFoldExtra
 }
 
 // CostGet returns the modeled instructions for one random Get at the given
