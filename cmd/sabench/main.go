@@ -28,6 +28,7 @@ func main() {
 	elements := flag.Uint64("elements", 1<<20, "elements per array for the real run")
 	verify := flag.Bool("verify", true, "verify real runs against plain references")
 	kernels := flag.Bool("kernels", false, "also run the fused packed-scan kernel benchmark and append its rows to the report")
+	steal := flag.Bool("steal", false, "enable cross-socket work stealing in the real runs")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
@@ -38,7 +39,7 @@ func main() {
 	if of.Active() {
 		rec = obs.NewRecorder(0)
 	}
-	opts := bench.Options{Elements: *elements, GraphVertices: 1000, Verify: *verify, Recorder: rec}
+	opts := bench.Options{Elements: *elements, GraphVertices: 1000, Verify: *verify, Recorder: rec, Steal: *steal}
 	tool := fmt.Sprintf("sabench -fig %d", *fig)
 
 	var report *obs.BenchReport

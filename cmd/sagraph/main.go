@@ -29,6 +29,7 @@ func main() {
 	fig := flag.Int("fig", 12, "figure to regenerate: 1, 11, or 12")
 	vertices := flag.Uint64("vertices", 20000, "vertices for the real (verified) run")
 	verify := flag.Bool("verify", true, "verify real runs against plain references")
+	steal := flag.Bool("steal", true, "enable cross-socket work stealing in the real runs")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
@@ -39,7 +40,7 @@ func main() {
 	if of.Active() {
 		rec = obs.NewRecorder(0)
 	}
-	opts := bench.Options{Elements: 1 << 18, GraphVertices: *vertices, Verify: *verify, Recorder: rec}
+	opts := bench.Options{Elements: 1 << 18, GraphVertices: *vertices, Verify: *verify, Recorder: rec, Steal: *steal}
 	tool := fmt.Sprintf("sagraph -fig %d", *fig)
 
 	var report *obs.BenchReport
@@ -76,6 +77,7 @@ func main() {
 	}
 
 	if of.MetricsOut != "" {
+		printStealStats(rec)
 		if rec != nil {
 			m := rec.Metrics()
 			report.Metrics = &m
@@ -83,6 +85,38 @@ func main() {
 		exitOn(report.WriteFile(of.MetricsOut))
 	}
 	exitOn(of.Finish(rec))
+}
+
+// printStealStats summarizes the run's work-stealing behaviour from the
+// recorded loop statistics: per-loop steal counts (for loops that stole)
+// and the claim imbalance ratio (max/mean per-worker claims) the stealing
+// path is meant to pull toward 1.
+func printStealStats(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	var loops, stealing int
+	var steals uint64
+	var worstRatio float64
+	for _, ev := range rec.Events() {
+		if ev.Kind != obs.KindLoop || ev.Loop == nil {
+			continue
+		}
+		ls := ev.Loop
+		loops++
+		if ls.MaxMeanClaimRatio > worstRatio {
+			worstRatio = ls.MaxMeanClaimRatio
+		}
+		if ls.Steals == 0 {
+			continue
+		}
+		stealing++
+		steals += ls.Steals
+		fmt.Printf("  loop [%d,%d) grain %d: %d/%d batches stolen, imbalance ratio %.2f\n",
+			ls.Begin, ls.End, ls.Grain, ls.Steals, ls.Batches, ls.MaxMeanClaimRatio)
+	}
+	fmt.Printf("work stealing: %d loops recorded, %d with steals, %d batches stolen, worst imbalance ratio %.2f\n",
+		loops, stealing, steals, worstRatio)
 }
 
 func printMemorySavings(rows []bench.GraphResult) {

@@ -29,32 +29,21 @@ func DegreeCentrality(rt *rts.Runtime, g *graph.SmartCSR) (*core.SmartArray, per
 	}
 
 	rt.ParallelFor(0, g.NumVertices, 0, func(w *rts.Worker, lo, hi uint64) {
-		// Scan both begin arrays over [lo, hi+1) through the fused
-		// chunk-decode path and sum the consecutive differences: one unpack
-		// per 64 elements instead of two random Gets per vertex. The small
-		// per-batch scratch keeps the two streams independent so each array
-		// is decoded exactly once.
-		deg := make([]uint64, hi-lo)
-		var prev uint64
-		core.Map(g.Begin, w.Socket, lo, hi+1, func(i, v uint64) {
-			if i > lo {
-				deg[i-1-lo] = v - prev
-			}
-			prev = v
-		})
-		core.Map(g.RBegin, w.Socket, lo, hi+1, func(i, v uint64) {
-			if i > lo {
-				deg[i-1-lo] += v - prev
-			}
-			prev = v
-		})
-		for i, d := range deg {
-			out.Init(w.Socket, lo+uint64(i), d)
+		// Stream both begin runs over [lo, hi+1) into flat scratch via the
+		// range-decode kernel — each array decoded exactly once, no
+		// per-element callback — then subtract adjacent entries.
+		nv := hi - lo
+		begins := make([]uint64, nv+1)
+		rbegins := make([]uint64, nv+1)
+		core.ReadRange(g.Begin, w.Socket, lo, hi+1, begins)
+		core.ReadRange(g.RBegin, w.Socket, lo, hi+1, rbegins)
+		for i := uint64(0); i < nv; i++ {
+			out.Init(w.Socket, lo+i, (begins[i+1]-begins[i])+(rbegins[i+1]-rbegins[i]))
 		}
 	})
 
 	beginBits := g.Begin.Bits()
-	perVertexInstr := 2*perfmodel.CostScan(beginBits) + perfmodel.CostInitU64 + 2
+	perVertexInstr := 2*perfmodel.CostStream(beginBits) + perfmodel.CostInitU64 + 2
 	work := perfmodel.Workload{
 		Instructions: float64(g.NumVertices) * perVertexInstr,
 		Streams: []perfmodel.Stream{

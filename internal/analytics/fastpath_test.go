@@ -1,0 +1,275 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"smartarrays/internal/core"
+	"smartarrays/internal/graph"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/rts"
+)
+
+// TestPageRankStealingPowerLawAgreement is the acceptance check of the
+// graph fast path: on power-law graphs with cross-socket stealing enabled
+// and degree-weighted batch bounds, the streamed/gathered PageRank must
+// match the sequential reference within 1e-9 per vertex at every degree
+// width the Figure 12 variants use (64 = "U"/"32", 22 = "V"/"V+E", 16 as
+// an extra compressed width), across layouts.
+func TestPageRankStealingPowerLawAgreement(t *testing.T) {
+	rt := newRT()
+	rt.SetStealing(true)
+	g, err := graph.GeneratePowerLaw(4096, 8, 1.6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultPageRankConfig()
+	wantRanks, wantIters := PageRankRef(g, cfg)
+
+	layouts := []graph.Layout{
+		{},
+		{Placement: memsim.Replicated, CompressBegin: true, CompressEdge: true},
+		{Placement: memsim.Interleaved, CompressBegin: true},
+	}
+	for _, degBits := range []uint{16, 22, 64} {
+		for _, layout := range layouts {
+			s := smartGraph(t, rt, g, layout)
+			prCfg := cfg
+			prCfg.DegreeBits = degBits
+			got, iters, _, err := PageRank(rt, s, prCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iters != wantIters {
+				t.Errorf("degBits=%d layout %+v: iterations = %d, want %d", degBits, layout, iters, wantIters)
+			}
+			for v := range got {
+				if math.Abs(got[v]-wantRanks[v]) > 1e-9 {
+					t.Fatalf("degBits=%d layout %+v: rank[%d] = %g, want %g (|diff| %g)",
+						degBits, layout, v, got[v], wantRanks[v], math.Abs(got[v]-wantRanks[v]))
+				}
+			}
+		}
+	}
+}
+
+// TestPageRankFastMatchesScalar pins the fast path against the preserved
+// edge-at-a-time implementation — two independent smart-array codepaths
+// over identical arrays.
+func TestPageRankFastMatchesScalar(t *testing.T) {
+	rt := newRT()
+	g, err := graph.GeneratePowerLaw(2000, 6, 1.7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smartGraph(t, rt, g, graph.Layout{CompressBegin: true, CompressEdge: true})
+	cfg := DefaultPageRankConfig()
+	cfg.DegreeBits = 22
+	fast, fastIters, _, err := PageRank(rt, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, scalarIters, err := pageRankScalar(rt, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastIters != scalarIters {
+		t.Errorf("iterations: fast %d, scalar %d", fastIters, scalarIters)
+	}
+	for v := range fast {
+		if math.Abs(fast[v]-scalar[v]) > 1e-9 {
+			t.Fatalf("rank[%d]: fast %g, scalar %g", v, fast[v], scalar[v])
+		}
+	}
+}
+
+// TestAnalyticsUnderStealing reruns the reference-agreement checks for the
+// rewired traversal kernels with stealing on — the steal path must not
+// duplicate or drop batches for any of them.
+func TestAnalyticsUnderStealing(t *testing.T) {
+	rt := newRT()
+	rt.SetStealing(true)
+	g, err := graph.GeneratePowerLaw(3000, 5, 1.8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smartGraph(t, rt, g, graph.Layout{CompressBegin: true, CompressEdge: true})
+
+	out, _, err := DegreeCentrality(rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.GetReplica(0)
+	for v := uint64(0); v < g.NumVertices; v++ {
+		want := g.OutDegree(uint32(v)) + g.InDegree(uint32(v))
+		if got := out.Get(rep, v); got != want {
+			t.Fatalf("degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	out.Free()
+
+	weights := make([]uint64, g.NumEdges)
+	for i := range weights {
+		weights[i] = uint64(i%7) + 1
+	}
+	warr, err := BuildWeights(rt, s, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warr.Free()
+	dist, _, err := SSSP(rt, s, warr, SSSPConfig{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist := SSSPRef(g, weights, 0)
+	for v := range dist {
+		if dist[v] != wantDist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], wantDist[v])
+		}
+	}
+
+	labels, _, err := WCC(rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label propagation converges to the same fixed point regardless of
+	// schedule: every member of a component gets the component's min ID.
+	for v, l := range labels {
+		if labels[l] != l {
+			t.Fatalf("label[%d] = %d, but labels[%d] = %d (not canonical)", v, l, l, labels[l])
+		}
+	}
+}
+
+// benchGraph builds one EXPERIMENTS.md measurement subject: a 64Ki-vertex
+// graph (power-law or uniform) with compressed CSR arrays.
+func benchGraph(b *testing.B, rt *rts.Runtime, kind string) *graph.SmartCSR {
+	b.Helper()
+	var g *graph.CSR
+	var err error
+	switch kind {
+	case "powerlaw":
+		g, err = graph.GeneratePowerLaw(64*1024, 8, 1.6, 42)
+	case "uniform":
+		g, err = graph.GenerateUniform(64*1024, 8, 42)
+	default:
+		b.Fatalf("unknown graph kind %q", kind)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := graph.NewSmartCSR(rt.Memory(), g, graph.Layout{CompressBegin: true, CompressEdge: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Free)
+	return s
+}
+
+var benchGraphKinds = []string{"powerlaw", "uniform"}
+var benchDegreeBits = []uint{16, 22, 64}
+
+// BenchmarkPageRankFast vs BenchmarkPageRankScalar is the before/after
+// wall-clock comparison recorded in EXPERIMENTS.md: the streamed/gathered
+// fast path (stealing on) against the preserved per-edge Get formulation,
+// per graph kind and degree-array width.
+func BenchmarkPageRankFast(b *testing.B) {
+	for _, kind := range benchGraphKinds {
+		for _, bits := range benchDegreeBits {
+			b.Run(fmt.Sprintf("%s/deg%d", kind, bits), func(b *testing.B) {
+				rt := newRT()
+				rt.SetStealing(true)
+				s := benchGraph(b, rt, kind)
+				cfg := DefaultPageRankConfig()
+				cfg.DegreeBits = bits
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := PageRank(rt, s, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPageRankScalar(b *testing.B) {
+	for _, kind := range benchGraphKinds {
+		for _, bits := range benchDegreeBits {
+			b.Run(fmt.Sprintf("%s/deg%d", kind, bits), func(b *testing.B) {
+				rt := newRT()
+				s := benchGraph(b, rt, kind)
+				cfg := DefaultPageRankConfig()
+				cfg.DegreeBits = bits
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := pageRankScalar(rt, s, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// degreeCentralityMap reproduces the pre-fast-path degree centrality body
+// (per-element closure iteration via core.Map) as the "before" measurement.
+func degreeCentralityMap(rt *rts.Runtime, g *graph.SmartCSR) *core.SmartArray {
+	out, err := core.Allocate(rt.Memory(), core.Config{
+		Length: g.NumVertices, Bits: 64, Placement: memsim.Interleaved,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rt.ParallelFor(0, g.NumVertices, 0, func(w *rts.Worker, lo, hi uint64) {
+		deg := make([]uint64, hi-lo)
+		var prev uint64
+		core.Map(g.Begin, w.Socket, lo, hi+1, func(i, v uint64) {
+			if i > lo {
+				deg[i-1-lo] = v - prev
+			}
+			prev = v
+		})
+		core.Map(g.RBegin, w.Socket, lo, hi+1, func(i, v uint64) {
+			if i > lo {
+				deg[i-1-lo] += v - prev
+			}
+			prev = v
+		})
+		for i, d := range deg {
+			out.Init(w.Socket, lo+uint64(i), d)
+		}
+	})
+	return out
+}
+
+func BenchmarkDegreeCentralityFast(b *testing.B) {
+	for _, kind := range benchGraphKinds {
+		b.Run(kind, func(b *testing.B) {
+			rt := newRT()
+			s := benchGraph(b, rt, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _, err := DegreeCentrality(rt, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out.Free()
+			}
+		})
+	}
+}
+
+func BenchmarkDegreeCentralityMap(b *testing.B) {
+	for _, kind := range benchGraphKinds {
+		b.Run(kind, func(b *testing.B) {
+			rt := newRT()
+			s := benchGraph(b, rt, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				degreeCentralityMap(rt, s).Free()
+			}
+		})
+	}
+}

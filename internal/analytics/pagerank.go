@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"smartarrays/internal/bitpack"
 	"smartarrays/internal/core"
 	"smartarrays/internal/graph"
 	"smartarrays/internal/perfmodel"
@@ -30,97 +31,195 @@ func DefaultPageRankConfig() PageRankConfig {
 	return PageRankConfig{Damping: 0.85, Tol: 1e-3, MaxIters: 100, DegreeBits: 64}
 }
 
-// PageRank runs pull-based PageRank over the smart-array graph: for each
-// vertex it loops over the reverse edges, gathering the neighbours' ranks
-// and out-degrees (paper §5.2). Ranks are double-precision values stored
-// bit-cast in 64-bit smart arrays; the out-degree property is a smart
-// array at cfg.DegreeBits. Both property arrays inherit the graph's
-// placement, as the paper's placement variations "apply to all arrays
-// except for the output array".
+// prState is the property-array set one PageRank run allocates.
+type prState struct {
+	// outDeg is the out-degrees property at cfg.DegreeBits — the array the
+	// paper's "V" variants compress. The iteration itself multiplies by
+	// invDeg; outDeg stays allocated (and initialized) for the variant's
+	// memory footprint and for property queries.
+	outDeg *core.SmartArray
+	// invDeg holds math.Float64bits(1/outDeg[v]) (0 for sinks): one divide
+	// per vertex per run instead of one per edge.
+	invDeg *core.SmartArray
+	// ranks/next are the 64-bit rank arrays, swapped each iteration.
+	ranks, next *core.SmartArray
+}
+
+func (st *prState) free() {
+	for _, a := range []*core.SmartArray{st.outDeg, st.invDeg, st.ranks, st.next} {
+		if a != nil {
+			a.Free()
+		}
+	}
+}
+
+// allocPageRank allocates the property arrays with the graph's placement,
+// as the paper's placement variations "apply to all arrays except for the
+// output array", and seeds them in one parallel pass: the begin array is
+// streamed once per batch through core.ReadRange, degrees come from
+// adjacent differences, and the inverse degrees are computed here — the
+// run's only divides.
+func allocPageRank(rt *rts.Runtime, g *graph.SmartCSR, degBits uint) (*prState, error) {
+	n := g.NumVertices
+	layout := g.Layout()
+	st := &prState{}
+	var err error
+	alloc := func(bits uint, what string) *core.SmartArray {
+		if err != nil {
+			return nil
+		}
+		a, e := core.Allocate(rt.Memory(), core.Config{
+			Length: n, Bits: bits,
+			Placement: layout.Placement, Socket: layout.Socket,
+		})
+		if e != nil {
+			err = fmt.Errorf("analytics: %s: %w", what, e)
+		}
+		return a
+	}
+	st.outDeg = alloc(degBits, "out-degree property")
+	st.invDeg = alloc(64, "inverse out-degrees")
+	st.ranks = alloc(64, "ranks")
+	st.next = alloc(64, "next ranks")
+	if err != nil {
+		st.free()
+		return nil, err
+	}
+
+	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
+		init := math.Float64bits(1 / float64(n))
+		begins := make([]uint64, hi-lo+1)
+		core.ReadRange(g.Begin, w.Socket, lo, hi+1, begins)
+		for i, e := range begins[1:] {
+			v := lo + uint64(i)
+			deg := e - begins[i]
+			st.outDeg.Init(w.Socket, v, deg)
+			var inv uint64
+			if deg > 0 {
+				inv = math.Float64bits(1 / float64(deg))
+			}
+			st.invDeg.Init(w.Socket, v, inv)
+			st.ranks.Init(w.Socket, v, init)
+		}
+	})
+	return st, nil
+}
+
+// prScratch is one worker's iteration scratch: the begin run of the
+// current batch, per-vertex partial sums, and the edge/gather buffers the
+// streaming kernels fill. Sized once per run, reused across batches and
+// iterations; only the owning worker touches it.
+type prScratch struct {
+	begins  []uint64
+	sums    []float64
+	edgeBuf []uint64
+	rankBuf []uint64
+	invBuf  []uint64
+}
+
+// prEdgeBufLen is the edge-stream chunk length: a multiple of the bitpack
+// chunk so compressed widths decode whole chunks, big enough to amortize
+// the emit and gather call overhead, small enough to stay cache-resident
+// alongside the two gather buffers.
+const prEdgeBufLen = 16 * bitpack.ChunkSize
+
+func (sc *prScratch) grow(vertices uint64) {
+	if uint64(len(sc.begins)) < vertices+1 {
+		sc.begins = make([]uint64, vertices+1)
+		sc.sums = make([]float64, vertices)
+	}
+	if sc.edgeBuf == nil {
+		sc.edgeBuf = make([]uint64, prEdgeBufLen)
+		sc.rankBuf = make([]uint64, prEdgeBufLen)
+		sc.invBuf = make([]uint64, prEdgeBufLen)
+	}
+}
+
+// PageRank runs pull-based PageRank over the smart-array graph (paper
+// §5.2) on the graph fast path: each batch streams its reverse-begin run
+// and its reverse-edge runs through the chunk-decode kernels
+// (core.ReadRange / core.StreamRange), batch-gathers the neighbours' ranks
+// and precomputed inverse out-degrees (core.Gather), and accumulates
+// rank*inv into per-vertex sums with a segmented walk — no per-edge Get,
+// no per-edge divide. Vertex ranges are split by in-degree
+// (rts.WeightedBounds), so power-law hubs do not serialize their batch;
+// enable rt.SetStealing for cross-socket balance on skewed graphs.
+//
+// Ranks are double-precision values stored bit-cast in 64-bit smart
+// arrays; the out-degree property is a smart array at cfg.DegreeBits. All
+// property arrays inherit the graph's placement.
 //
 // It returns the converged ranks, the iteration count, and a workload
 // descriptor covering the whole run (all iterations).
 func PageRank(rt *rts.Runtime, g *graph.SmartCSR, cfg PageRankConfig) ([]float64, int, perfmodel.Workload, error) {
-	if cfg.Damping <= 0 || cfg.Damping >= 1 {
-		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: damping %v out of (0,1)", cfg.Damping)
-	}
-	if cfg.MaxIters <= 0 || cfg.Tol <= 0 {
-		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: bad iteration bounds (MaxIters=%d, Tol=%v)", cfg.MaxIters, cfg.Tol)
+	if err := checkPageRankConfig(cfg); err != nil {
+		return nil, 0, perfmodel.Workload{}, err
 	}
 	degBits := cfg.DegreeBits
 	if degBits == 0 {
 		degBits = 64
 	}
 	n := g.NumVertices
-	layout := g.Layout()
+	st, err := allocPageRank(rt, g, degBits)
+	if err != nil {
+		return nil, 0, perfmodel.Workload{}, err
+	}
+	defer st.free()
 
-	alloc := func(length uint64, bits uint) (*core.SmartArray, error) {
-		return core.Allocate(rt.Memory(), core.Config{
-			Length: length, Bits: bits,
-			Placement: layout.Placement, Socket: layout.Socket,
-		})
-	}
-	outDeg, err := alloc(n, degBits)
-	if err != nil {
-		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: out-degree property: %w", err)
-	}
-	defer outDeg.Free()
-	ranks, err := alloc(n, 64)
-	if err != nil {
-		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: ranks: %w", err)
-	}
-	defer ranks.Free()
-	next, err := alloc(n, 64)
-	if err != nil {
-		return nil, 0, perfmodel.Workload{}, fmt.Errorf("analytics: next ranks: %w", err)
-	}
-	defer next.Free()
-
-	// Initialize properties: out-degrees from begin, uniform initial ranks.
-	// The begin scan streams through the fused chunk-decode path (one
-	// unpack per 64 elements) instead of two random Gets per vertex.
-	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
-		init := math.Float64bits(1 / float64(n))
-		var prev uint64
-		core.Map(g.Begin, w.Socket, lo, hi+1, func(i, v uint64) {
-			if i > lo {
-				outDeg.Init(w.Socket, i-1, v-prev)
-				ranks.Init(w.Socket, i-1, init)
-			}
-			prev = v
-		})
+	// Degree-aware batch boundaries: weight vertex v as 1 + in-degree so
+	// each batch carries about the same edge traffic. Computed once — the
+	// graph is immutable across iterations.
+	rbeginRep0 := g.RBegin.GetReplica(0)
+	totalWeight := n + g.NumEdges
+	nbTarget := (n + rts.DefaultGrain - 1) / rts.DefaultGrain
+	grainWeight := (totalWeight + nbTarget - 1) / nbTarget
+	bounds := rts.WeightedBounds(0, n, grainWeight, func(v uint64) uint64 {
+		return g.RBegin.Get(rbeginRep0, v) + v
 	})
 
+	scratch := make([]prScratch, len(rt.Workers()))
 	base := (1 - cfg.Damping) / float64(n)
 	iters := 0
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		// Per-worker float partials, combined once per worker after the
 		// loop — no mutex (or atomic) per batch on the diff accumulation.
-		totalDiff := rt.ReduceSumFloat64(0, n, 0, func(w *rts.Worker, lo, hi uint64) float64 {
-			rbeginRep := g.RBegin.GetReplica(w.Socket)
-			redgeRep := g.REdge.GetReplica(w.Socket)
-			ranksRep := ranks.GetReplica(w.Socket)
-			degRep := outDeg.GetReplica(w.Socket)
-			var localDiff float64
-			ePrev := g.RBegin.Get(rbeginRep, lo)
-			for v := lo; v < hi; v++ {
-				eEnd := g.RBegin.Get(rbeginRep, v+1)
-				var sum float64
-				for e := ePrev; e < eEnd; e++ {
-					u := g.REdge.Get(redgeRep, e)
-					deg := outDeg.Get(degRep, u)
-					if deg > 0 {
-						sum += math.Float64frombits(ranks.Get(ranksRep, u)) / float64(deg)
+		totalDiff := rt.ReduceSumFloat64Bounds(bounds, func(w *rts.Worker, lo, hi uint64) float64 {
+			sc := &scratch[w.ID]
+			nv := hi - lo
+			sc.grow(nv)
+			begins := sc.begins[:nv+1]
+			core.ReadRange(g.RBegin, w.Socket, lo, hi+1, begins)
+			sums := sc.sums[:nv]
+			for i := range sums {
+				sums[i] = 0
+			}
+			if eLo, eHi := begins[0], begins[nv]; eLo < eHi {
+				vi := uint64(0)
+				core.StreamRange(g.REdge, w.Socket, eLo, eHi, sc.edgeBuf, func(eBase uint64, srcs []uint64) {
+					rb := sc.rankBuf[:len(srcs)]
+					ib := sc.invBuf[:len(srcs)]
+					core.Gather(st.ranks, w.Socket, srcs, rb)
+					core.Gather(st.invDeg, w.Socket, srcs, ib)
+					for j := range srcs {
+						e := eBase + uint64(j)
+						for e >= begins[vi+1] {
+							vi++ // advance past (possibly in-degree-0) vertices
+						}
+						sums[vi] += math.Float64frombits(rb[j]) * math.Float64frombits(ib[j])
 					}
-				}
-				ePrev = eEnd
+				})
+			}
+			ranksRep := st.ranks.GetReplica(w.Socket)
+			var localDiff float64
+			for i, sum := range sums {
+				v := lo + uint64(i)
 				newRank := base + cfg.Damping*sum
-				localDiff += math.Abs(newRank - math.Float64frombits(ranks.Get(ranksRep, v)))
-				next.Init(w.Socket, v, math.Float64bits(newRank))
+				localDiff += math.Abs(newRank - math.Float64frombits(st.ranks.Get(ranksRep, v)))
+				st.next.Init(w.Socket, v, math.Float64bits(newRank))
 			}
 			return localDiff
 		})
-		ranks, next = next, ranks
+		st.ranks, st.next = st.next, st.ranks
 		iters++
 		if totalDiff < cfg.Tol {
 			break
@@ -128,55 +227,134 @@ func PageRank(rt *rts.Runtime, g *graph.SmartCSR, cfg PageRankConfig) ([]float64
 	}
 
 	out := make([]float64, n)
-	rep := ranks.GetReplica(0)
+	rep := st.ranks.GetReplica(0)
 	for v := uint64(0); v < n; v++ {
-		out[v] = math.Float64frombits(ranks.Get(rep, v))
+		out[v] = math.Float64frombits(st.ranks.Get(rep, v))
 	}
 
-	work := pageRankWorkload(rt, g, outDeg, ranks, next, iters)
+	work := pageRankWorkload(rt, g, st, iters)
 	return out, iters, work, nil
 }
 
+func checkPageRankConfig(cfg PageRankConfig) error {
+	if cfg.Damping <= 0 || cfg.Damping >= 1 {
+		return fmt.Errorf("analytics: damping %v out of (0,1)", cfg.Damping)
+	}
+	if cfg.MaxIters <= 0 || cfg.Tol <= 0 {
+		return fmt.Errorf("analytics: bad iteration bounds (MaxIters=%d, Tol=%v)", cfg.MaxIters, cfg.Tol)
+	}
+	return nil
+}
+
+// pageRankScalar is the pre-fast-path implementation — edge-at-a-time
+// Gets with a per-edge divide, uniform vertex-count batches. Kept as the
+// measured "before" baseline for the fast path's speedup experiments
+// (EXPERIMENTS.md) and as a second independent implementation for
+// agreement tests.
+func pageRankScalar(rt *rts.Runtime, g *graph.SmartCSR, cfg PageRankConfig) ([]float64, int, error) {
+	if err := checkPageRankConfig(cfg); err != nil {
+		return nil, 0, err
+	}
+	degBits := cfg.DegreeBits
+	if degBits == 0 {
+		degBits = 64
+	}
+	n := g.NumVertices
+	st, err := allocPageRank(rt, g, degBits)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer st.free()
+
+	base := (1 - cfg.Damping) / float64(n)
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		totalDiff := rt.ReduceSumFloat64(0, n, 0, func(w *rts.Worker, lo, hi uint64) float64 {
+			rbeginRep := g.RBegin.GetReplica(w.Socket)
+			redgeRep := g.REdge.GetReplica(w.Socket)
+			ranksRep := st.ranks.GetReplica(w.Socket)
+			degRep := st.outDeg.GetReplica(w.Socket)
+			var localDiff float64
+			ePrev := g.RBegin.Get(rbeginRep, lo)
+			for v := lo; v < hi; v++ {
+				eEnd := g.RBegin.Get(rbeginRep, v+1)
+				var sum float64
+				for e := ePrev; e < eEnd; e++ {
+					u := g.REdge.Get(redgeRep, e)
+					deg := st.outDeg.Get(degRep, u)
+					if deg > 0 {
+						sum += math.Float64frombits(st.ranks.Get(ranksRep, u)) / float64(deg)
+					}
+				}
+				ePrev = eEnd
+				newRank := base + cfg.Damping*sum
+				localDiff += math.Abs(newRank - math.Float64frombits(st.ranks.Get(ranksRep, v)))
+				st.next.Init(w.Socket, v, math.Float64bits(newRank))
+			}
+			return localDiff
+		})
+		st.ranks, st.next = st.next, st.ranks
+		iters++
+		if totalDiff < cfg.Tol {
+			break
+		}
+	}
+
+	out := make([]float64, n)
+	rep := st.ranks.GetReplica(0)
+	for v := uint64(0); v < n; v++ {
+		out[v] = math.Float64frombits(st.ranks.Get(rep, v))
+	}
+	return out, iters, nil
+}
+
 // pageRankWorkload builds the model descriptor for `iters` PageRank
-// iterations: per iteration the algorithm streams rbegin and redge once,
-// gathers ranks and out-degrees once per edge (semi-random, power-law
-// locality), reads the old rank per vertex, and writes the next-rank array.
-func pageRankWorkload(rt *rts.Runtime, g *graph.SmartCSR, outDeg, ranks, next *core.SmartArray, iters int) perfmodel.Workload {
+// iterations on the fast path: per iteration the algorithm streams rbegin
+// and redge once through the chunk-decode kernels, batch-gathers ranks and
+// inverse out-degrees once per edge (semi-random, power-law locality),
+// reads the old rank per vertex, and writes the next-rank array.
+func pageRankWorkload(rt *rts.Runtime, g *graph.SmartCSR, st *prState, iters int) perfmodel.Workload {
 	llc := rt.Spec().LLCMB * 1e6
 	it := float64(iters)
 	e := float64(g.NumEdges)
 	v := float64(g.NumVertices)
 
-	perEdge := perfmodel.CostScan(g.REdge.Bits()) + // stream the edge
-		perfmodel.CostGet(64) + perfmodel.CostGet(outDeg.Bits()) + // two gathers
-		4 // divide and accumulate
-	perVertex := perfmodel.CostScan(g.RBegin.Bits()) + perfmodel.CostInit(64) + 6
+	perEdge := perfmodel.CostStream(g.REdge.Bits()) + // stream the edge
+		2*perfmodel.CostGather(64) + // rank + inverse-degree gathers
+		2 // multiply and accumulate
+	perVertex := perfmodel.CostStream(g.RBegin.Bits()) + perfmodel.CostInit(64) + 8
 
-	// As in PageRankWorkloadFor: the out-degree gather hits the same hot
-	// vertices as the rank gather, so only its instruction cost is
+	// As in PageRankWorkloadFor: the inverse-degree gather hits the same
+	// hot vertices as the rank gather, so only its instruction cost is
 	// charged; its lines co-reside in cache with the rank lines.
-	_ = outDeg
 	return perfmodel.Workload{
 		Instructions: it * (e*perEdge + v*perVertex),
 		Streams: []perfmodel.Stream{
 			scanStream(g.RBegin, it),
 			scanStream(g.REdge, it),
-			randomStream(ranks, it*e, llc, perfmodel.PowerLawLocalityBoost),
-			scanStream(ranks, it), // old rank read for the diff
-			writeStream(next, it),
+			randomStream(st.ranks, it*e, llc, perfmodel.PowerLawLocalityBoost),
+			scanStream(st.ranks, it), // old rank read for the diff
+			writeStream(st.next, it),
 		},
 	}
 }
 
 // PageRankRef is the sequential reference implementation over a plain CSR,
 // used by tests and by the "original" (no smart arrays) variant of the
-// paper's Figure 12.
+// paper's Figure 12. Like the smart-array fast path it multiplies by a
+// precomputed inverse out-degree — the same rounding at every step, so
+// the two implementations agree bit-for-bit per vertex, not just within
+// tolerance.
 func PageRankRef(g *graph.CSR, cfg PageRankConfig) ([]float64, int) {
 	n := g.NumVertices
 	ranks := make([]float64, n)
 	next := make([]float64, n)
+	inv := make([]float64, n)
 	for v := range ranks {
 		ranks[v] = 1 / float64(n)
+		if d := g.OutDegree(uint32(v)); d > 0 {
+			inv[v] = 1 / float64(d)
+		}
 	}
 	base := (1 - cfg.Damping) / float64(n)
 	iters := 0
@@ -185,9 +363,7 @@ func PageRankRef(g *graph.CSR, cfg PageRankConfig) ([]float64, int) {
 		for v := uint64(0); v < n; v++ {
 			var sum float64
 			for _, u := range g.InNeighbors(uint32(v)) {
-				if d := g.OutDegree(u); d > 0 {
-					sum += ranks[u] / float64(d)
-				}
+				sum += ranks[u] * inv[u]
 			}
 			next[v] = base + cfg.Damping*sum
 			diff += math.Abs(next[v] - ranks[v])

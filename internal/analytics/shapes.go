@@ -70,7 +70,7 @@ func (p *ShapeParams) randomStreamFor(spec *machine.Spec, length uint64, bits ui
 // the interleaved 64-bit output write.
 func DegreeWorkloadFor(p ShapeParams) perfmodel.Workload {
 	bb := p.beginBits()
-	perVertex := 2*perfmodel.CostScan(bb) + perfmodel.CostInitU64 + 2
+	perVertex := 2*perfmodel.CostStream(bb) + perfmodel.CostInitU64 + 2
 	return perfmodel.Workload{
 		Instructions: float64(p.V) * perVertex,
 		Streams: []perfmodel.Stream{
@@ -83,29 +83,28 @@ func DegreeWorkloadFor(p ShapeParams) perfmodel.Workload {
 
 // PageRankWorkloadFor is the allocation-free equivalent of the workload
 // PageRank returns, for Iters iterations at the shape's sizes: per
-// iteration one pass over rbegin and redge, two gathers per edge (ranks
-// and out-degrees, power-law locality), the old-rank read and the
-// next-rank write.
+// iteration one streamed pass over rbegin and redge, two batched gathers
+// per edge (ranks and inverse out-degrees, power-law locality), the
+// old-rank read and the next-rank write. The per-edge divide of the
+// original formulation is gone — inverse degrees are precomputed once per
+// run, so DegreeBits affects footprint and initialization, not the
+// per-edge instruction stream.
 func PageRankWorkloadFor(spec *machine.Spec, p ShapeParams) perfmodel.Workload {
 	bb, eb := p.beginBits(), p.edgeBits()
-	degBits := p.DegreeBits
-	if degBits == 0 {
-		degBits = 64
-	}
 	it := float64(p.Iters)
 	e := float64(p.E)
 	v := float64(p.V)
 
-	perEdge := perfmodel.CostScan(eb) +
-		perfmodel.CostGet(64) + perfmodel.CostGet(degBits) + 4
-	perVertex := perfmodel.CostScan(bb) + perfmodel.CostInit(64) + 6
+	perEdge := perfmodel.CostStream(eb) + 2*perfmodel.CostGather(64) + 2
+	perVertex := perfmodel.CostStream(bb) + perfmodel.CostInit(64) + 8
 
-	// The out-degree gather targets exactly the vertices the rank gather
-	// just touched; the hot lines of both property arrays co-reside in
-	// cache, so the model folds the degree gather's DRAM traffic into the
-	// rank gather (its instruction cost stays in perEdge). This matches
-	// the paper's observation that compressing the vertex property arrays
-	// ("V") "does not have a significant impact on performance" (§5.2).
+	// The inverse-degree gather targets exactly the vertices the rank
+	// gather just touched; the hot lines of both property arrays co-reside
+	// in cache, so the model folds the inverse-degree gather's DRAM
+	// traffic into the rank gather (its instruction cost stays in
+	// perEdge). This matches the paper's observation that compressing the
+	// vertex property arrays ("V") "does not have a significant impact on
+	// performance" (§5.2).
 	return perfmodel.Workload{
 		Instructions: it * (e*perEdge + v*perVertex),
 		Streams: []perfmodel.Stream{

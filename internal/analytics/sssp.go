@@ -50,18 +50,32 @@ func SSSP(rt *rts.Runtime, g *graph.SmartCSR, weights *core.SmartArray, cfg SSSP
 	for r := 0; r < maxRounds; r++ {
 		var changed atomic.Bool
 		rt.ParallelFor(0, g.NumVertices, 0, func(w *rts.Worker, lo, hi uint64) {
-			beginRep := g.Begin.GetReplica(w.Socket)
-			edgeRep := g.Edge.GetReplica(w.Socket)
-			weightRep := weights.GetReplica(w.Socket)
+			// Stream the batch's begin run once, then decode edge and
+			// weight runs per *active* vertex through the flat range
+			// reader — unreachable vertices keep skipping their edge
+			// loops entirely, which dominates sparse rounds.
+			begins := make([]uint64, hi-lo+1)
+			core.ReadRange(g.Begin, w.Socket, lo, hi+1, begins)
+			var edges, wts []uint64
 			for u := lo; u < hi; u++ {
 				du := atomic.LoadUint64(&dist[u])
 				if du == infDistance {
 					continue
 				}
-				eEnd := g.Begin.Get(beginRep, u+1)
-				for e := g.Begin.Get(beginRep, u); e < eEnd; e++ {
-					v := g.Edge.Get(edgeRep, e)
-					nd := du + weights.Get(weightRep, e)
+				eLo, eEnd := begins[u-lo], begins[u-lo+1]
+				deg := eEnd - eLo
+				if deg == 0 {
+					continue
+				}
+				if uint64(len(edges)) < deg {
+					edges = make([]uint64, deg)
+					wts = make([]uint64, deg)
+				}
+				core.ReadRange(g.Edge, w.Socket, eLo, eEnd, edges)
+				core.ReadRange(weights, w.Socket, eLo, eEnd, wts)
+				for i := uint64(0); i < deg; i++ {
+					v := edges[i]
+					nd := du + wts[i]
 					for {
 						old := atomic.LoadUint64(&dist[v])
 						if nd >= old {

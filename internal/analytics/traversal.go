@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/core"
 	"smartarrays/internal/graph"
 	"smartarrays/internal/perfmodel"
 	"smartarrays/internal/rts"
@@ -32,17 +34,31 @@ func BFS(rt *rts.Runtime, g *graph.SmartCSR, src uint64) ([]int64, int, perfmode
 	for len(frontier) > 0 {
 		var next []uint64
 		rt.ParallelFor(0, uint64(len(frontier)), 64, func(w *rts.Worker, lo, hi uint64) {
-			beginRep := g.Begin.GetReplica(w.Socket)
-			edgeRep := g.Edge.GetReplica(w.Socket)
-			var local []uint64
+			// Batch-gather the frontier's begin bounds (two index vectors:
+			// v and v+1), then decode each vertex's edge run flat.
+			batch := frontier[lo:hi]
+			idx1 := make([]uint64, len(batch))
+			for i, v := range batch {
+				idx1[i] = v + 1
+			}
+			eLos := make([]uint64, len(batch))
+			eHis := make([]uint64, len(batch))
+			core.Gather(g.Begin, w.Socket, batch, eLos)
+			core.Gather(g.Begin, w.Socket, idx1, eHis)
+			var local, edges []uint64
 			var touched uint64
-			for fi := lo; fi < hi; fi++ {
-				v := frontier[fi]
-				eLo := g.Begin.Get(beginRep, v)
-				eHi := g.Begin.Get(beginRep, v+1)
-				touched += eHi - eLo
-				for e := eLo; e < eHi; e++ {
-					d := g.Edge.Get(edgeRep, e)
+			for i := range batch {
+				eLo, eHi := eLos[i], eHis[i]
+				deg := eHi - eLo
+				if deg == 0 {
+					continue
+				}
+				touched += deg
+				if uint64(len(edges)) < deg {
+					edges = make([]uint64, deg)
+				}
+				core.ReadRange(g.Edge, w.Socket, eLo, eHi, edges)
+				for _, d := range edges[:deg] {
 					// Claim the vertex exactly once.
 					if atomic.CompareAndSwapInt64(&levels[d], -1, level+1) {
 						local = append(local, d)
@@ -62,8 +78,8 @@ func BFS(rt *rts.Runtime, g *graph.SmartCSR, src uint64) ([]int64, int, perfmode
 	v := float64(n)
 	work := perfmodel.Workload{
 		// Every edge is inspected once over the whole traversal; the begin
-		// array is gathered per frontier vertex.
-		Instructions: e*(perfmodel.CostScan(g.Edge.Bits())+4) + v*(perfmodel.CostGet(g.Begin.Bits())+4),
+		// array is batch-gathered per frontier vertex.
+		Instructions: e*(perfmodel.CostStream(g.Edge.Bits())+4) + v*(2*perfmodel.CostGather(g.Begin.Bits())+4),
 		Streams: []perfmodel.Stream{
 			scanStream(g.Edge, 1),
 			scanStream(g.Begin, 1),
@@ -82,26 +98,45 @@ func WCC(rt *rts.Runtime, g *graph.SmartCSR) ([]uint64, int, error) {
 	for i := range labels {
 		labels[i] = uint64(i)
 	}
+	// Per-batch scratch: minima per vertex plus the begin runs of both
+	// directions; edge runs stream through a chunk buffer with a segmented
+	// walk (the same shape as PageRank's accumulation).
+	propagate := func(w *rts.Worker, lo, hi uint64, begins []uint64,
+		edges *core.SmartArray, buf, mins []uint64) {
+		nv := hi - lo
+		if eLo, eHi := begins[0], begins[nv]; eLo < eHi {
+			vi := uint64(0)
+			core.StreamRange(edges, w.Socket, eLo, eHi, buf, func(base uint64, vals []uint64) {
+				for j, u := range vals {
+					e := base + uint64(j)
+					for e >= begins[vi+1] {
+						vi++
+					}
+					if l := atomic.LoadUint64(&labels[u]); l < mins[vi] {
+						mins[vi] = l
+					}
+				}
+			})
+		}
+	}
+
 	rounds := 0
 	for {
 		var changed atomic.Bool
 		rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
-			beginRep := g.Begin.GetReplica(w.Socket)
-			edgeRep := g.Edge.GetReplica(w.Socket)
-			rbeginRep := g.RBegin.GetReplica(w.Socket)
-			redgeRep := g.REdge.GetReplica(w.Socket)
-			for v := lo; v < hi; v++ {
-				min := atomic.LoadUint64(&labels[v])
-				for e := g.Begin.Get(beginRep, v); e < g.Begin.Get(beginRep, v+1); e++ {
-					if l := atomic.LoadUint64(&labels[g.Edge.Get(edgeRep, e)]); l < min {
-						min = l
-					}
-				}
-				for e := g.RBegin.Get(rbeginRep, v); e < g.RBegin.Get(rbeginRep, v+1); e++ {
-					if l := atomic.LoadUint64(&labels[g.REdge.Get(redgeRep, e)]); l < min {
-						min = l
-					}
-				}
+			nv := hi - lo
+			begins := make([]uint64, nv+1)
+			mins := make([]uint64, nv)
+			buf := make([]uint64, 4*bitpack.ChunkSize)
+			for i := range mins {
+				mins[i] = atomic.LoadUint64(&labels[lo+uint64(i)])
+			}
+			core.ReadRange(g.Begin, w.Socket, lo, hi+1, begins)
+			propagate(w, lo, hi, begins, g.Edge, buf, mins)
+			core.ReadRange(g.RBegin, w.Socket, lo, hi+1, begins)
+			propagate(w, lo, hi, begins, g.REdge, buf, mins)
+			for i, min := range mins {
+				v := lo + uint64(i)
 				if min < atomic.LoadUint64(&labels[v]) {
 					atomic.StoreUint64(&labels[v], min)
 					changed.Store(true)
@@ -126,22 +161,31 @@ func TriangleCount(rt *rts.Runtime, g *graph.SmartCSR) uint64 {
 	// higher-numbered neighbours) from the smart arrays.
 	adj := make([][]uint32, n)
 	rt.ParallelFor(0, n, 0, func(w *rts.Worker, lo, hi uint64) {
-		beginRep := g.Begin.GetReplica(w.Socket)
-		edgeRep := g.Edge.GetReplica(w.Socket)
-		rbeginRep := g.RBegin.GetReplica(w.Socket)
-		redgeRep := g.REdge.GetReplica(w.Socket)
+		nv := hi - lo
+		begins := make([]uint64, nv+1)
+		rbegins := make([]uint64, nv+1)
+		core.ReadRange(g.Begin, w.Socket, lo, hi+1, begins)
+		core.ReadRange(g.RBegin, w.Socket, lo, hi+1, rbegins)
+		var run []uint64
+		appendHigher := func(v, eLo, eHi uint64, edges *core.SmartArray, ns []uint32) []uint32 {
+			if eLo == eHi {
+				return ns
+			}
+			if deg := eHi - eLo; uint64(len(run)) < deg {
+				run = make([]uint64, deg)
+			}
+			core.ReadRange(edges, w.Socket, eLo, eHi, run)
+			for _, d := range run[:eHi-eLo] {
+				if d > v {
+					ns = append(ns, uint32(d))
+				}
+			}
+			return ns
+		}
 		for v := lo; v < hi; v++ {
 			var ns []uint32
-			for e := g.Begin.Get(beginRep, v); e < g.Begin.Get(beginRep, v+1); e++ {
-				if d := uint32(g.Edge.Get(edgeRep, e)); uint64(d) > v {
-					ns = append(ns, d)
-				}
-			}
-			for e := g.RBegin.Get(rbeginRep, v); e < g.RBegin.Get(rbeginRep, v+1); e++ {
-				if s := uint32(g.REdge.Get(redgeRep, e)); uint64(s) > v {
-					ns = append(ns, s)
-				}
-			}
+			ns = appendHigher(v, begins[v-lo], begins[v-lo+1], g.Edge, ns)
+			ns = appendHigher(v, rbegins[v-lo], rbegins[v-lo+1], g.REdge, ns)
 			adj[v] = sortedUnique(ns)
 		}
 	})

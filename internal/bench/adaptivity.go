@@ -212,7 +212,7 @@ func degreeWorkloadAtBits(shape analytics.ShapeParams, bits uint) perfmodel.Work
 		Layout: graph.Layout{Placement: shape.Layout.Placement, Socket: shape.Layout.Socket}})
 	w.Streams[0].Bytes = base.Streams[0].Bytes * ratio
 	w.Streams[1].Bytes = base.Streams[1].Bytes * ratio
-	perVertex := 2*perfmodel.CostScan(bits) + perfmodel.CostInitU64 + 2
+	perVertex := 2*perfmodel.CostStream(bits) + perfmodel.CostInitU64 + 2
 	w.Instructions = float64(shape.V) * perVertex
 	return w
 }

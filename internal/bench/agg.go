@@ -77,6 +77,7 @@ func initFormula(i uint64, mask uint64) uint64 {
 func RunAggregation(cfg AggConfig, opts Options) (AggResult, error) {
 	rt := rts.New(cfg.Machine)
 	rt.SetRecorder(opts.Recorder)
+	rt.SetStealing(opts.Steal)
 	codec, err := bitpack.New(cfg.Bits)
 	if err != nil {
 		return AggResult{}, err

@@ -62,6 +62,9 @@ type Options struct {
 	// RTS loop statistics, counter-fabric snapshots bracketing each real
 	// run, and adaptivity decisions.
 	Recorder *obs.Recorder
+	// Steal enables Callisto cross-socket work stealing in the real runs.
+	// Off by default so loop statistics stay stripe-attributed.
+	Steal bool
 }
 
 // DefaultOptions returns CI-friendly scales.

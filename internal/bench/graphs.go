@@ -85,6 +85,7 @@ func RunFigure11(opts Options) ([]GraphResult, error) {
 	for _, spec := range Machines() {
 		rt := rts.New(spec)
 		rt.SetRecorder(opts.Recorder)
+		rt.SetStealing(opts.Steal)
 		g, err := graph.GenerateUniform(opts.GraphVertices, PaperDegreeDegree, 42)
 		if err != nil {
 			return nil, err
@@ -179,6 +180,7 @@ func RunFigure12(opts Options) ([]GraphResult, error) {
 	for _, spec := range Machines() {
 		rt := rts.New(spec)
 		rt.SetRecorder(opts.Recorder)
+		rt.SetStealing(opts.Steal)
 		g, err := graph.GeneratePowerLaw(opts.GraphVertices, 8, 1.6, 42)
 		if err != nil {
 			return nil, err
@@ -259,6 +261,7 @@ func RunFigure1(opts Options) (original, replicated GraphResult, err error) {
 	spec := machine.X52Small()
 	rt := rts.New(spec)
 	rt.SetRecorder(opts.Recorder)
+	rt.SetStealing(opts.Steal)
 	g, err := graph.GeneratePowerLaw(opts.GraphVertices, 8, 1.6, 42)
 	if err != nil {
 		return GraphResult{}, GraphResult{}, err

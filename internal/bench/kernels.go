@@ -52,6 +52,7 @@ func RunFusedKernels(opts Options) ([]KernelResult, error) {
 	spec := machine.X52Large()
 	rt := rts.New(spec)
 	rt.SetRecorder(opts.Recorder)
+	rt.SetStealing(opts.Steal)
 
 	var rows []KernelResult
 	for _, bits := range kernelBits {
@@ -131,11 +132,49 @@ func RunFusedKernels(opts Options) ([]KernelResult, error) {
 		}
 		maskOK := matched == wantMatched
 		maskedSumOK := maskedSum == wantMaskedSum
+
+		// Batched gather through a scrambled index vector vs the
+		// per-element Get loop (the graph fast path's random-access
+		// primitive).
+		idx := make([]uint64, opts.Elements)
+		for i := range idx {
+			idx[i] = (uint64(i)*2654435761 + 12345) % opts.Elements
+		}
+		gatherSum := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			a.AccountGather(w.Counters, hi-lo, 0)
+			out := make([]uint64, hi-lo)
+			core.Gather(a, w.Socket, idx[lo:hi], out)
+			var s uint64
+			for _, x := range out {
+				s += x
+			}
+			return s
+		})
+		var wantGatherSum uint64
+		for _, x := range idx {
+			wantGatherSum += a.Get(rep, x)
+		}
+		gatherOK := gatherSum == wantGatherSum
+
+		// Chunk-streamed range decode vs the iterator reference (the
+		// graph fast path's sequential primitive).
+		streamSum := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			a.AccountStream(w.Counters, lo, hi)
+			buf := make([]uint64, 4*bitpack.ChunkSize)
+			var s uint64
+			core.StreamRange(a, w.Socket, lo, hi, buf, func(_ uint64, vals []uint64) {
+				for _, x := range vals {
+					s += x
+				}
+			})
+			return s
+		})
+		streamOK := streamSum == core.SumRangeIter(a, 0, 0, opts.Elements)
 		a.Free()
 
-		if opts.Verify && (!sumOK || !countOK || !maskOK || !maskedSumOK) {
-			return nil, fmt.Errorf("bench: kernel mismatch at %d bits (sum ok=%v, count ok=%v, mask ok=%v, masked-sum ok=%v)",
-				bits, sumOK, countOK, maskOK, maskedSumOK)
+		if opts.Verify && (!sumOK || !countOK || !maskOK || !maskedSumOK || !gatherOK || !streamOK) {
+			return nil, fmt.Errorf("bench: kernel mismatch at %d bits (sum ok=%v, count ok=%v, mask ok=%v, masked-sum ok=%v, gather ok=%v, stream ok=%v)",
+				bits, sumOK, countOK, maskOK, maskedSumOK, gatherOK, streamOK)
 		}
 
 		rows = append(rows,
@@ -149,6 +188,12 @@ func RunFusedKernels(opts Options) ([]KernelResult, error) {
 			// half of the chunks: three payload reads end to end.
 			modelKernel(spec, "masked-sum", bits,
 				2*perfmodel.CostMask(bits)+0.5*perfmodel.CostMaskedReduce(bits), 3, maskedSumOK),
+			// Random batched gather: one modeled access per element plus
+			// the index read; traffic comes from the cache-miss model, not
+			// a streaming pass.
+			modelGatherKernel(spec, bits, gatherOK),
+			// One chunk-streamed decode pass over the payload.
+			modelKernel(spec, "stream-range", bits, perfmodel.CostStream(bits)+1, 1, streamOK),
 		)
 	}
 	return rows, nil
@@ -169,6 +214,35 @@ func modelKernel(spec *machine.Spec, kernel string, bits uint, instrPerElem, rea
 	return KernelResult{
 		Machine:       spec,
 		Kernel:        kernel,
+		Bits:          bits,
+		Ops:           PaperAggElements,
+		NsPerOp:       res.Seconds * 1e9 / float64(PaperAggElements),
+		TimeMs:        res.Seconds * 1e3,
+		InstructionsG: res.Instructions / 1e9,
+		Bottleneck:    string(res.Bottleneck),
+		Verified:      verified,
+	}
+}
+
+// modelGatherKernel evaluates the paper-scale batched-gather cell: one
+// random access per element into the packed payload (traffic from the
+// cache-miss model) plus a streaming read of the 64-bit index vector.
+func modelGatherKernel(spec *machine.Spec, bits uint, verified bool) KernelResult {
+	codec := bitpack.MustNew(bits)
+	arrayBytes := float64(codec.CompressedBytes(PaperAggElements))
+	elemBytes := arrayBytes / float64(PaperAggElements)
+	eff := perfmodel.RandomReadBytes(arrayBytes, elemBytes, spec.LLCMB*1e6, 0)
+	w := perfmodel.Workload{
+		Instructions: float64(PaperAggElements) * (perfmodel.CostGather(bits) + 1),
+		Streams: []perfmodel.Stream{
+			{Kind: perfmodel.Read, Bytes: float64(PaperAggElements) * eff, Placement: memsim.Interleaved},
+			{Kind: perfmodel.Read, Bytes: float64(PaperAggElements) * 8, Placement: memsim.Interleaved},
+		},
+	}
+	res := perfmodel.Solve(spec, w)
+	return KernelResult{
+		Machine:       spec,
+		Kernel:        "gather",
 		Bits:          bits,
 		Ops:           PaperAggElements,
 		NsPerOp:       res.Seconds * 1e9 / float64(PaperAggElements),

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/counters"
+	"smartarrays/internal/perfmodel"
+)
+
+// Batched random access and range streaming: the graph-analytics entry
+// points over smart arrays. A CSR traversal touches its arrays two ways —
+// contiguous edge runs (stream) and index-vector lookups of per-vertex
+// state (gather) — and both were previously per-element Get calls. These
+// wrappers validate once per batch and hand the whole vector or range to
+// the bitpack kernels.
+
+// Gather decodes out[i] = element idx[i] for a reader on socket. Indices
+// may repeat and appear in any order; the whole vector is bounds-checked
+// up front so the decode loops run unchecked. len(out) must be at least
+// len(idx).
+func Gather(a *SmartArray, socket int, idx []uint64, out []uint64) {
+	if len(idx) == 0 {
+		return
+	}
+	length := a.length
+	for _, x := range idx {
+		if x >= length {
+			panic(fmt.Sprintf("core: gather index %d out of range [0,%d)", x, length))
+		}
+	}
+	a.codec.Gather(a.GetReplica(socket), idx, out)
+}
+
+// ReadRange decodes elements [lo, hi) into out for a reader on socket.
+// len(out) must be at least hi-lo. It is StreamRange flattened into a
+// caller-owned destination — for small per-batch scratch (CSR begin runs,
+// weight runs) where the caller wants plain indexed access afterwards.
+func ReadRange(a *SmartArray, socket int, lo, hi uint64, out []uint64) {
+	if lo >= hi {
+		return
+	}
+	a.checkRange(lo, hi)
+	if uint64(len(out)) < hi-lo {
+		panic(fmt.Sprintf("core: ReadRange destination holds %d elements, need %d", len(out), hi-lo))
+	}
+	replica := a.GetReplica(socket)
+	codec := a.codec
+	switch a.Bits() {
+	case 64:
+		copy(out, replica[lo:hi])
+		return
+	case 32:
+		for i := lo; i < hi; i++ {
+			w := replica[i>>1]
+			out[i-lo] = (w >> ((i & 1) * 32)) & 0xFFFFFFFF
+		}
+		return
+	}
+	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
+	for i := lo; i < headEnd; i++ {
+		out[i-lo] = codec.Get(replica, i)
+	}
+	if chunkLo < chunkHi {
+		var buf [bitpack.ChunkSize]uint64
+		for ch := chunkLo; ch < chunkHi; ch++ {
+			codec.Unpack(replica, ch, &buf)
+			copy(out[ch*bitpack.ChunkSize-lo:], buf[:])
+		}
+	}
+	for i := tailStart; i < hi; i++ {
+		out[i-lo] = codec.Get(replica, i)
+	}
+}
+
+// StreamRange decodes elements [lo, hi) through buf for a reader on
+// socket, invoking emit with decoded runs (see bitpack.UnpackRange for the
+// emit contract: runs are in order, contiguous, at most len(buf) long, and
+// vals is only valid during the call). buf must hold at least one chunk.
+func StreamRange(a *SmartArray, socket int, lo, hi uint64, buf []uint64, emit func(base uint64, vals []uint64)) {
+	if lo >= hi {
+		return
+	}
+	a.checkRange(lo, hi)
+	a.codec.UnpackRange(a.GetReplica(socket), lo, hi, buf, emit)
+}
+
+// AccountGather charges n batched random element reads: the same amplified
+// DRAM traffic as AccountRandomGets, but the batched per-element decode
+// cost (perfmodel.CostGather) instead of Function 1's per-call cost.
+func (a *SmartArray) AccountGather(sh *counters.Shard, n uint64, localityBoost float64) {
+	if n == 0 {
+		return
+	}
+	spec := a.mem.Spec()
+	elemBytes := float64(a.CompressedBytes()) / float64(a.length)
+	eff := perfmodel.RandomReadBytes(float64(a.CompressedBytes()), elemBytes, spec.LLCMB*1e6, localityBoost)
+	a.region.AccountRandom(sh, n, uint64(eff))
+	sh.Access(n)
+	sh.Instr(uint64(float64(n) * perfmodel.CostGather(a.codec.Bits())))
+}
+
+// AccountStream charges the traffic and instructions of streaming elements
+// [lo, hi) through StreamRange/ReadRange: streaming payload traffic, with
+// the chunk-at-a-time decode cost (perfmodel.CostStream) in place of the
+// iterator's per-element cost.
+func (a *SmartArray) AccountStream(sh *counters.Shard, lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := a.WordRange(lo, hi)
+	a.region.AccountScan(sh, loWord, hiWord-loWord)
+	n := hi - lo
+	sh.Access(n)
+	sh.Instr(uint64(float64(n) * perfmodel.CostStream(a.codec.Bits())))
+}

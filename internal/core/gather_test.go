@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"smartarrays/internal/bitpack"
+)
+
+func TestGatherMatchesGetAllWidths(t *testing.T) {
+	const n = 3*bitpack.ChunkSize + 21
+	for bits := uint(1); bits <= 64; bits++ {
+		a, values := reduceFixture(t, bits, n)
+		idx := make([]uint64, 150)
+		state := uint64(bits) * 0xD1B54A32D192ED03
+		for i := range idx {
+			state = state*6364136223846793005 + 1442695040888963407
+			idx[i] = state % n
+		}
+		out := make([]uint64, len(idx))
+		Gather(a, 0, idx, out)
+		for i, x := range idx {
+			if out[i] != values[x] {
+				t.Fatalf("bits=%d: Gather out[%d] (idx %d) = %#x, want %#x", bits, i, x, out[i], values[x])
+			}
+		}
+	}
+}
+
+func TestGatherPanicsOutOfRange(t *testing.T) {
+	a, _ := reduceFixture(t, 17, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	Gather(a, 0, []uint64{5, 100}, make([]uint64, 2))
+}
+
+func TestReadRangeAllWidths(t *testing.T) {
+	const n = 3*bitpack.ChunkSize + 21
+	for bits := uint(1); bits <= 64; bits++ {
+		a, values := reduceFixture(t, bits, n)
+		for _, r := range reduceRanges(n) {
+			lo, hi := r[0], r[1]
+			out := make([]uint64, hi-lo)
+			ReadRange(a, 0, lo, hi, out)
+			for i := range out {
+				if want := values[lo+uint64(i)]; out[i] != want {
+					t.Fatalf("bits=%d [%d,%d): out[%d] = %#x, want %#x", bits, lo, hi, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamRangeAllWidths(t *testing.T) {
+	const n = 3*bitpack.ChunkSize + 21
+	buf := make([]uint64, 2*bitpack.ChunkSize)
+	for bits := uint(1); bits <= 64; bits++ {
+		a, values := reduceFixture(t, bits, n)
+		for _, r := range reduceRanges(n) {
+			lo, hi := r[0], r[1]
+			next := lo
+			StreamRange(a, 0, lo, hi, buf, func(base uint64, vals []uint64) {
+				if base != next {
+					t.Fatalf("bits=%d [%d,%d): emit base %d, want %d", bits, lo, hi, base, next)
+				}
+				if len(vals) > len(buf) {
+					t.Fatalf("bits=%d: emit run %d exceeds buffer %d", bits, len(vals), len(buf))
+				}
+				for j, v := range vals {
+					if want := values[base+uint64(j)]; v != want {
+						t.Fatalf("bits=%d [%d,%d): element %d = %#x, want %#x", bits, lo, hi, base+uint64(j), v, want)
+					}
+				}
+				next = base + uint64(len(vals))
+			})
+			if next != hi && lo < hi {
+				t.Fatalf("bits=%d [%d,%d): stream stopped at %d", bits, lo, hi, next)
+			}
+		}
+	}
+}
+
+func TestStreamRangePanicsOutOfBounds(t *testing.T) {
+	a, _ := reduceFixture(t, 22, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds range")
+		}
+	}()
+	StreamRange(a, 0, 50, 101, make([]uint64, bitpack.ChunkSize), func(uint64, []uint64) {})
+}

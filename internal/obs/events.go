@@ -49,20 +49,38 @@ type LoopStats struct {
 	BatchesPerWorker []uint64 `json:"batchesPerWorker,omitempty"`
 	// BatchesPerSocket aggregates the claims by NUMA node.
 	BatchesPerSocket []uint64 `json:"batchesPerSocket,omitempty"`
+	// Steals counts batches executed by a worker outside the batch's
+	// home-socket stripe (cross-socket work stealing); zero when stealing
+	// is disabled.
+	Steals uint64 `json:"steals,omitempty"`
+	// StealsPerWorker[i] is how many of worker i's claims were steals.
+	StealsPerWorker []uint64 `json:"stealsPerWorker,omitempty"`
 	// ClaimImbalance is (max-min)/mean over per-worker claims — 0 for a
 	// perfectly even spread. Callisto's dynamic claiming keeps this low
 	// within a socket; stripes are static across sockets.
 	ClaimImbalance float64 `json:"claimImbalance"`
+	// MaxMeanClaimRatio is max/mean over per-worker claims — 1.0 for a
+	// perfectly even spread, higher when a few workers dominate. This is
+	// the imbalance ratio the stealing path is meant to pull toward 1.
+	MaxMeanClaimRatio float64 `json:"maxMeanClaimRatio,omitempty"`
 	// GrainEfficiency is iterations/(batches*grain): 1.0 when the range
 	// divides evenly, lower when the tail batch is ragged.
 	GrainEfficiency float64 `json:"grainEfficiency"`
 }
 
 // NewLoopStats derives the summary statistics from raw per-worker claim
-// counts. sockets[i] gives worker i's NUMA node.
-func NewLoopStats(begin, end, grain uint64, claims []uint64, sockets []int) LoopStats {
+// counts. steals[i] counts worker i's cross-stripe claims and may be nil
+// when the loop ran without stealing. sockets[i] gives worker i's NUMA
+// node.
+func NewLoopStats(begin, end, grain uint64, claims, steals []uint64, sockets []int) LoopStats {
 	ls := LoopStats{Begin: begin, End: end, Grain: grain,
 		BatchesPerWorker: claims}
+	for _, st := range steals {
+		ls.Steals += st
+	}
+	if ls.Steals > 0 {
+		ls.StealsPerWorker = steals
+	}
 	var total, min, max uint64
 	first := true
 	nSockets := 0
@@ -89,6 +107,7 @@ func NewLoopStats(begin, end, grain uint64, claims []uint64, sockets []int) Loop
 	if total > 0 && len(claims) > 0 {
 		mean := float64(total) / float64(len(claims))
 		ls.ClaimImbalance = float64(max-min) / mean
+		ls.MaxMeanClaimRatio = float64(max) / mean
 		if grain > 0 && end > begin {
 			ls.GrainEfficiency = float64(end-begin) / float64(total*grain)
 		}

@@ -9,6 +9,8 @@ type LoopSummary struct {
 	// Loops counts ParallelFor executions; Batches the claims they made.
 	Loops   uint64 `json:"loops"`
 	Batches uint64 `json:"batches"`
+	// Steals counts cross-socket batch steals across all loops.
+	Steals uint64 `json:"steals"`
 	// Iterations is the total loop iterations scheduled.
 	Iterations uint64 `json:"iterations"`
 	// MaxClaimImbalance / MeanClaimImbalance summarize per-loop
@@ -26,6 +28,7 @@ type LoopSummary struct {
 func (s *LoopSummary) add(ls *LoopStats) {
 	s.Loops++
 	s.Batches += ls.Batches
+	s.Steals += ls.Steals
 	if ls.End > ls.Begin {
 		s.Iterations += ls.End - ls.Begin
 	}
@@ -85,6 +88,7 @@ func (s LoopSummary) MarshalJSON() ([]byte, error) {
 	type wire struct {
 		Loops               uint64  `json:"loops"`
 		Batches             uint64  `json:"batches"`
+		Steals              uint64  `json:"steals"`
 		Iterations          uint64  `json:"iterations"`
 		MaxClaimImbalance   float64 `json:"maxClaimImbalance"`
 		MeanClaimImbalance  float64 `json:"meanClaimImbalance"`
@@ -93,6 +97,7 @@ func (s LoopSummary) MarshalJSON() ([]byte, error) {
 	return json.Marshal(wire{
 		Loops:               s.Loops,
 		Batches:             s.Batches,
+		Steals:              s.Steals,
 		Iterations:          s.Iterations,
 		MaxClaimImbalance:   s.MaxClaimImbalance,
 		MeanClaimImbalance:  s.MeanClaimImbalance,
@@ -105,6 +110,7 @@ func (s *LoopSummary) UnmarshalJSON(b []byte) error {
 	type wire struct {
 		Loops               uint64  `json:"loops"`
 		Batches             uint64  `json:"batches"`
+		Steals              uint64  `json:"steals"`
 		Iterations          uint64  `json:"iterations"`
 		MaxClaimImbalance   float64 `json:"maxClaimImbalance"`
 		MeanClaimImbalance  float64 `json:"meanClaimImbalance"`
@@ -117,6 +123,7 @@ func (s *LoopSummary) UnmarshalJSON(b []byte) error {
 	*s = LoopSummary{
 		Loops:               w.Loops,
 		Batches:             w.Batches,
+		Steals:              w.Steals,
 		Iterations:          w.Iterations,
 		MaxClaimImbalance:   w.MaxClaimImbalance,
 		MeanClaimImbalance:  w.MeanClaimImbalance,

@@ -65,6 +65,39 @@ const (
 	// costMaskedFoldExtra is the per-element mask test a masked fold adds
 	// on top of the fused reduction.
 	costMaskedFoldExtra = 1.0
+
+	// Batched gather costs (bitpack.Gather/GatherChunk): decoding an index
+	// vector's elements with the codec fields hoisted out of the loop. One
+	// width dispatch per vector instead of per element puts every width well
+	// below the per-call CostGet.
+	//
+	// CostGatherU64 is instructions per gathered element at 64 bits (index
+	// load, element load, store).
+	CostGatherU64 = 3.0
+	// CostGatherU32 adds the shift/mask of the 32-bit fast path.
+	CostGatherU32 = 3.5
+	// CostGatherPacked is the flat per-element cost of the compressed
+	// gather: Function 1's address math with the mask and words-per-chunk
+	// in registers. Width-independent because the straddle branch, not the
+	// shift distance, dominates.
+	CostGatherPacked = 8.0
+
+	// Streaming-range costs (bitpack.UnpackRange): decode a [lo,hi) run
+	// chunk-at-a-time through a caller buffer. Strictly below CostScan at
+	// every width — the iterator's per-element advance and chunk-boundary
+	// branch are gone, and at 64 bits the emit is zero-copy.
+	//
+	// CostStreamU64 is instructions per element for the zero-copy 64-bit
+	// range stream (bounds math amortized over the run).
+	CostStreamU64 = 1.5
+	// CostStreamU32 is instructions per element for the 32-bit stream
+	// (load amortized over two elements, shift/mask, store).
+	CostStreamU32 = 2.5
+	// costStreamBase/costStreamPerBit parameterize the compressed stream:
+	// the chunk-unpack schedule without the iterator overhead, plus the
+	// buffer store.
+	costStreamBase   = 5.0
+	costStreamPerBit = 0.25
 )
 
 // CostScan returns the modeled instructions per element for sequentially
@@ -119,6 +152,36 @@ func CostMask(bits uint) float64 {
 // actually decode — dead chunks are skipped and cost nothing.
 func CostMaskedReduce(bits uint) float64 {
 	return CostReduce(bits) + costMaskedFoldExtra
+}
+
+// CostGather returns the modeled instructions per element for a batched
+// index-vector gather (bitpack.Gather) at the given width. It sits below
+// CostGet at every width: the width dispatch, mask load, and bounds check
+// are paid once per vector, not once per element.
+func CostGather(bits uint) float64 {
+	switch bits {
+	case 64:
+		return CostGatherU64
+	case 32:
+		return CostGatherU32
+	default:
+		return CostGatherPacked
+	}
+}
+
+// CostStream returns the modeled instructions per element for streaming a
+// [lo,hi) run through bitpack.UnpackRange. It is strictly below CostScan
+// at every width: long decoded runs replace the iterator's per-element
+// stepping.
+func CostStream(bits uint) float64 {
+	switch bits {
+	case 64:
+		return CostStreamU64
+	case 32:
+		return CostStreamU32
+	default:
+		return costStreamBase + costStreamPerBit*float64(bits)
+	}
 }
 
 // CostGet returns the modeled instructions for one random Get at the given

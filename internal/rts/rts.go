@@ -60,6 +60,9 @@ type Runtime struct {
 	// worker the single-batch ParallelFor path runs on, consistent with the
 	// stripe rule (batch 0 belongs to socket 0's stripe).
 	firstOnSocket []int
+	// stealing enables cross-socket batch stealing once a worker's own
+	// stripe drains. See SetStealing for why it defaults off.
+	stealing bool
 }
 
 // New creates a runtime for the given machine with one worker per hardware
@@ -115,6 +118,20 @@ func (r *Runtime) SetRecorder(rec *obs.Recorder) { r.rec = rec }
 // Recorder returns the attached recorder (nil when not recording).
 func (r *Runtime) Recorder() *obs.Recorder { return r.rec }
 
+// SetStealing enables or disables Callisto's cross-socket work stealing: a
+// worker whose socket stripe drains starts claiming batches from the
+// stripe with the most remaining work. Stealing defaults off because the
+// §6 adaptivity profiler consumes per-socket counter attribution that
+// stripe-faithful claiming makes deterministic — on an oversubscribed host
+// the first-scheduled worker would otherwise drain other sockets' stripes
+// and skew the socket split. Graph analytics over skewed (power-law) CSR
+// ranges turn it on explicitly; steal counts surface in the loop events.
+// Must not be called while a parallel loop is running.
+func (r *Runtime) SetStealing(on bool) { r.stealing = on }
+
+// Stealing reports whether cross-socket stealing is enabled.
+func (r *Runtime) Stealing() bool { return r.stealing }
+
 // ParallelFor executes body over every index range covering [begin, end),
 // distributing batches of about grain iterations dynamically among all
 // workers. Batches are striped round-robin across sockets; within a socket
@@ -132,60 +149,145 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 		g = DefaultGrain
 	}
 	total := end - begin
-	numBatches := (total + g - 1) / g
+	r.runLoop(loopShape{
+		begin: begin, end: end, grain: g,
+		numBatches: (total + g - 1) / g,
+	}, body)
+}
+
+// ParallelForBounds is ParallelFor over explicit batch boundaries: batch b
+// covers [bounds[b], bounds[b+1]). Bounds must be strictly increasing;
+// build them with WeightedBounds when batches should carry equal work
+// rather than equal iteration counts (skewed CSR vertex ranges). Loop
+// events record Grain 0 for bounds loops.
+func (r *Runtime) ParallelForBounds(bounds []uint64, body func(w *Worker, lo, hi uint64)) {
+	if len(bounds) < 2 {
+		return
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("rts: bounds not strictly increasing at %d: %d -> %d", i, bounds[i-1], bounds[i]))
+		}
+	}
+	r.runLoop(loopShape{
+		begin: bounds[0], end: bounds[len(bounds)-1],
+		numBatches: uint64(len(bounds) - 1), bounds: bounds,
+	}, body)
+}
+
+// loopShape describes one parallel loop's batch decomposition: uniform
+// batches of grain iterations, or explicit boundaries for weighted splits.
+type loopShape struct {
+	begin, end uint64
+	// grain is the uniform batch size, 0 for bounds-driven loops.
+	grain      uint64
+	numBatches uint64
+	// bounds, when non-nil, gives batch b the range [bounds[b], bounds[b+1]).
+	bounds []uint64
+}
+
+// batch returns the index range of batch b.
+func (sh *loopShape) batch(b uint64) (lo, hi uint64) {
+	if sh.bounds != nil {
+		return sh.bounds[b], sh.bounds[b+1]
+	}
+	lo = sh.begin + b*sh.grain
+	hi = lo + sh.grain
+	if hi > sh.end {
+		hi = sh.end
+	}
+	return lo, hi
+}
+
+// runLoop is the loop engine behind ParallelFor and ParallelForBounds:
+// per-socket claim stripes, optional cross-socket stealing, and one
+// LoopStats event per execution.
+func (r *Runtime) runLoop(sh loopShape, body func(w *Worker, lo, hi uint64)) {
 	sockets := uint64(r.spec.Sockets)
 
-	if numBatches == 1 {
+	if sh.numBatches == 1 {
 		// Batch 0 belongs to socket 0's stripe (batch b -> socket b%sockets),
 		// so run it on that socket's first worker — the same placement the
 		// multi-batch path would produce — and attribute the claim to that
 		// worker's real ID so the loop event records the actual socket.
 		w := r.workers[r.firstOnSocket[0]]
-		body(w, begin, end)
-		r.recordLoop(begin, end, g, func(claims []uint64) { claims[w.ID] = 1 })
+		lo, hi := sh.batch(0)
+		body(w, lo, hi)
+		r.recordLoop(sh.begin, sh.end, sh.grain, func(claims []uint64) { claims[w.ID] = 1 })
 		return
 	}
 
 	// Per-socket cursors over the batch stripes: socket s owns batches
-	// s, s+sockets, s+2*sockets, ...
+	// s, s+sockets, s+2*sockets, ... — stripeLen[s] of them in total.
 	cursors := make([]atomic.Uint64, sockets)
+	stripeLen := make([]uint64, sockets)
+	for s := uint64(0); s < sockets && s < sh.numBatches; s++ {
+		stripeLen[s] = (sh.numBatches-1-s)/sockets + 1
+	}
 
-	// claims[i] counts batches worker i executed; each slot is written
-	// only by its owning worker's goroutine (after its claim loop exits),
-	// so no synchronization beyond the final wg.Wait is needed.
-	var claims []uint64
+	// claims[i]/steals[i] count batches worker i executed (and how many of
+	// those came from another socket's stripe); each slot is written only
+	// by its owning worker's goroutine (after its claim loop exits), so no
+	// synchronization beyond the final wg.Wait is needed.
+	var claims, steals []uint64
 	if r.rec != nil {
 		claims = make([]uint64, len(r.workers))
+		steals = make([]uint64, len(r.workers))
 	}
+	stealing := r.stealing
 
 	run := func(w *Worker) {
 		s := uint64(w.Socket)
-		var claimed uint64
+		var claimed, stolen uint64
 		defer func() {
 			if claims != nil {
 				claims[w.ID] = claimed
+				steals[w.ID] = stolen
 			}
 		}()
+		// Drain the home stripe.
 		for {
 			k := cursors[s].Add(1) - 1 // k-th batch of this socket's stripe
-			batch := k*sockets + s
-			if batch >= numBatches {
-				// Stripe exhausted. Real Callisto would steal from other
-				// sockets here; this reproduction deliberately does not:
-				// performance comes from the model (which already solves
-				// for the balanced split), and on an oversubscribed host
-				// stealing would let the first-scheduled worker drain
-				// other sockets' stripes and corrupt the per-socket
-				// counter attribution the model consumes.
-				return
+			if k >= stripeLen[s] {
+				break
 			}
-			lo := begin + batch*g
-			hi := lo + g
-			if hi > end {
-				hi = end
-			}
+			lo, hi := sh.batch(k*sockets + s)
 			body(w, lo, hi)
 			claimed++
+		}
+		if !stealing {
+			// Stripe exhausted and stealing is off (the default): stop, so
+			// per-socket counter attribution stays stripe-faithful for the
+			// adaptivity profiler. See SetStealing.
+			return
+		}
+		// Callisto's stealing step (§2.1): pick the victim stripe with the
+		// most remaining claims and drain it through the same cursor the
+		// owners use; re-select after every claim so concurrent thieves
+		// spread across victims as the remaining-work ranking shifts.
+		for {
+			victim := -1
+			var remaining uint64
+			for v := uint64(0); v < sockets; v++ {
+				if v == s {
+					continue
+				}
+				if cur := cursors[v].Load(); cur < stripeLen[v] && stripeLen[v]-cur > remaining {
+					victim, remaining = int(v), stripeLen[v]-cur
+				}
+			}
+			if victim < 0 {
+				return // every stripe drained
+			}
+			v := uint64(victim)
+			k := cursors[v].Add(1) - 1
+			if k >= stripeLen[v] {
+				continue // lost the race to the last claim; re-select
+			}
+			lo, hi := sh.batch(k*sockets + v)
+			body(w, lo, hi)
+			claimed++
+			stolen++
 		}
 	}
 
@@ -204,7 +306,7 @@ func (r *Runtime) ParallelFor(begin, end uint64, grain int64, body func(w *Worke
 	}
 	wg.Wait()
 	if claims != nil {
-		r.rec.RecordLoop(obs.NewLoopStats(begin, end, g, claims, r.workerSockets()))
+		r.rec.RecordLoop(obs.NewLoopStats(sh.begin, sh.end, sh.grain, claims, steals, r.workerSockets()))
 	}
 }
 
@@ -215,7 +317,53 @@ func (r *Runtime) recordLoop(begin, end, grain uint64, fill func(claims []uint64
 	}
 	claims := make([]uint64, len(r.workers))
 	fill(claims)
-	r.rec.RecordLoop(obs.NewLoopStats(begin, end, grain, claims, r.workerSockets()))
+	r.rec.RecordLoop(obs.NewLoopStats(begin, end, grain, claims, nil, r.workerSockets()))
+}
+
+// WeightedBounds builds batch boundaries over [begin, end) such that each
+// batch carries about grainWeight units of work, where prefix(i) is the
+// cumulative work of elements [0, i) (any monotone non-decreasing
+// function; for CSR vertex ranges, the begin array plus a constant per
+// vertex). This is the degree-aware grain hint: skewed ranges split by
+// edge count rather than vertex count, so one hub vertex cannot turn its
+// batch into the loop's critical path. Every batch is non-empty; the
+// number of batches is ceil(totalWeight/grainWeight) capped at end-begin.
+func WeightedBounds(begin, end, grainWeight uint64, prefix func(uint64) uint64) []uint64 {
+	if begin >= end {
+		return nil
+	}
+	if grainWeight == 0 {
+		grainWeight = 1
+	}
+	base := prefix(begin)
+	total := prefix(end) - base
+	nb := (total + grainWeight - 1) / grainWeight
+	if nb == 0 {
+		nb = 1
+	}
+	if span := end - begin; nb > span {
+		nb = span
+	}
+	bounds := make([]uint64, 0, nb+1)
+	bounds = append(bounds, begin)
+	cur := begin
+	for k := uint64(1); k < nb; k++ {
+		// Smallest boundary whose prefix reaches the k-th equal-weight cut,
+		// clamped so this batch and every remaining batch stay non-empty.
+		target := base + total/nb*k + total%nb*k/nb
+		lo, hi := cur+1, end-(nb-k)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if prefix(mid) >= target {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cur = lo
+		bounds = append(bounds, cur)
+	}
+	return append(bounds, end)
 }
 
 // workerSockets maps worker ID to NUMA node for loop-statistics events.
@@ -318,6 +466,21 @@ func (r *Runtime) ReduceMax(begin, end uint64, grain int64, body func(w *Worker,
 func (r *Runtime) ReduceSumFloat64(begin, end uint64, grain int64, body func(w *Worker, lo, hi uint64) float64) float64 {
 	partials := make([]paddedFloat64, len(r.workers))
 	r.ParallelFor(begin, end, grain, func(w *Worker, lo, hi uint64) {
+		partials[w.ID].v += body(w, lo, hi)
+	})
+	var total float64
+	for i := range partials {
+		total += partials[i].v
+	}
+	return total
+}
+
+// ReduceSumFloat64Bounds is ReduceSumFloat64 over explicit batch
+// boundaries (see ParallelForBounds) — the shape of PageRank iterations
+// over degree-weighted vertex ranges.
+func (r *Runtime) ReduceSumFloat64Bounds(bounds []uint64, body func(w *Worker, lo, hi uint64) float64) float64 {
+	partials := make([]paddedFloat64, len(r.workers))
+	r.ParallelForBounds(bounds, func(w *Worker, lo, hi uint64) {
 		partials[w.ID].v += body(w, lo, hi)
 	})
 	var total float64

@@ -1,0 +1,200 @@
+package rts
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
+)
+
+func TestWeightedBoundsUniform(t *testing.T) {
+	bounds := WeightedBounds(0, 100, 10, func(i uint64) uint64 { return i })
+	if len(bounds) != 11 {
+		t.Fatalf("bounds = %v, want 11 boundaries", bounds)
+	}
+	for i, b := range bounds {
+		if b != uint64(i*10) {
+			t.Fatalf("bounds[%d] = %d, want %d", i, b, i*10)
+		}
+	}
+}
+
+func TestWeightedBoundsSkewed(t *testing.T) {
+	// Element 0 is a hub carrying 1000 units; elements 1..99 carry 1 each.
+	weight := func(i uint64) uint64 {
+		if i == 0 {
+			return 1000
+		}
+		return 1
+	}
+	prefix := func(i uint64) uint64 {
+		var s uint64
+		for j := uint64(0); j < i; j++ {
+			s += weight(j)
+		}
+		return s
+	}
+	bounds := WeightedBounds(0, 100, 100, prefix)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != 100 {
+		t.Fatalf("bounds %v do not cover [0,100)", bounds)
+	}
+	// The hub must be isolated: its batch cannot also absorb the light
+	// elements (the whole point of degree-aware splitting).
+	if bounds[1] != 1 {
+		t.Fatalf("hub batch is [%d,%d), want [0,1)", bounds[0], bounds[1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("empty batch at %d: %v", i, bounds)
+		}
+	}
+}
+
+func TestWeightedBoundsProperties(t *testing.T) {
+	cases := []struct {
+		begin, end, grain uint64
+	}{
+		{0, 1, 1}, {0, 1, 1000}, {5, 6, 1}, {0, 1000, 1},
+		{0, 1000, 7}, {17, 500, 64}, {0, 64, 1 << 40},
+	}
+	for _, tc := range cases {
+		// Quadratic prefix: later elements are heavier.
+		prefix := func(i uint64) uint64 { return i * i }
+		bounds := WeightedBounds(tc.begin, tc.end, tc.grain, prefix)
+		if bounds[0] != tc.begin || bounds[len(bounds)-1] != tc.end {
+			t.Fatalf("%+v: bounds %v do not span range", tc, bounds)
+		}
+		span := tc.end - tc.begin
+		if nb := uint64(len(bounds) - 1); nb > span {
+			t.Fatalf("%+v: %d batches exceed %d elements", tc, nb, span)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("%+v: not strictly increasing: %v", tc, bounds)
+			}
+		}
+	}
+	if got := WeightedBounds(5, 5, 10, func(i uint64) uint64 { return i }); got != nil {
+		t.Fatalf("empty range bounds = %v, want nil", got)
+	}
+}
+
+// TestParallelForBoundsCoverage runs a deliberately skewed bounds loop
+// (one huge batch, many tiny ones) with stealing enabled and checks
+// exactly-once coverage. Run under -race this is the steal-path data-race
+// test the stealing claim/counter protocol must survive.
+func TestParallelForBoundsCoverage(t *testing.T) {
+	r := New(machine.X52Small())
+	r.SetStealing(true)
+	const n = 200_000
+	// Batch 0 covers half the range; the rest split the other half.
+	bounds := []uint64{0, n / 2}
+	for b := uint64(n / 2); b < n; b += 1024 {
+		hi := b + 1024
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, hi)
+	}
+	seen := make([]int32, n)
+	r.ParallelForBounds(bounds, func(w *Worker, lo, hi uint64) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForBoundsPanicsOnNonIncreasing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(machine.UMA(2)).ParallelForBounds([]uint64{0, 10, 10}, func(w *Worker, lo, hi uint64) {})
+}
+
+// TestStealingDrainsAllStripes pins the host to one scheduling slot so a
+// single worker goroutine runs the whole loop: it must drain its own
+// stripe, then steal every other socket's stripe, and the loop event must
+// attribute the cross-stripe claims as steals.
+func TestStealingDrainsAllStripes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	r := New(machine.X52Small()) // 2 sockets, 32 workers
+	r.SetStealing(true)
+	rec := obs.NewRecorder(0)
+	r.SetRecorder(rec)
+	const n, grain = 1 << 16, 1024 // 64 batches, 32 per stripe
+	var count atomic.Uint64
+	r.ParallelFor(0, n, grain, func(w *Worker, lo, hi uint64) {
+		count.Add(hi - lo)
+	})
+	if count.Load() != n {
+		t.Fatalf("iterations = %d, want %d", count.Load(), n)
+	}
+	events := rec.Events()
+	if len(events) != 1 || events[0].Loop == nil {
+		t.Fatalf("expected one loop event, got %+v", events)
+	}
+	ls := events[0].Loop
+	if ls.Batches != 64 {
+		t.Fatalf("batches = %d, want 64", ls.Batches)
+	}
+	// With one host slot, whichever worker entered first ran everything:
+	// 32 home claims plus 32 stolen from the other socket.
+	var winners int
+	for id, c := range ls.BatchesPerWorker {
+		if c == 0 {
+			continue
+		}
+		winners++
+		if c != 64 {
+			t.Fatalf("worker %d claimed %d batches, want 64", id, c)
+		}
+		if ls.StealsPerWorker[id] != 32 {
+			t.Fatalf("worker %d stole %d batches, want 32", id, ls.StealsPerWorker[id])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d workers claimed batches, want 1", winners)
+	}
+	if ls.Steals != 32 {
+		t.Fatalf("Steals = %d, want 32", ls.Steals)
+	}
+	if ls.MaxMeanClaimRatio != 64.0/2.0 {
+		t.Fatalf("MaxMeanClaimRatio = %v, want 32", ls.MaxMeanClaimRatio)
+	}
+}
+
+func TestStealingOffRecordsNoSteals(t *testing.T) {
+	r := New(machine.X52Small())
+	rec := obs.NewRecorder(0)
+	r.SetRecorder(rec)
+	r.ParallelFor(0, 1<<16, 512, func(w *Worker, lo, hi uint64) {})
+	events := rec.Events()
+	if len(events) != 1 || events[0].Loop == nil {
+		t.Fatalf("expected one loop event")
+	}
+	if ls := events[0].Loop; ls.Steals != 0 || ls.StealsPerWorker != nil {
+		t.Fatalf("stealing off recorded steals: %+v", ls)
+	}
+}
+
+func TestReduceSumFloat64Bounds(t *testing.T) {
+	r := New(machine.X52Small())
+	r.SetStealing(true)
+	bounds := WeightedBounds(0, 10_000, 100, func(i uint64) uint64 { return i })
+	got := r.ReduceSumFloat64Bounds(bounds, func(w *Worker, lo, hi uint64) float64 {
+		return float64(hi - lo)
+	})
+	if got != 10_000 {
+		t.Fatalf("sum = %v, want 10000", got)
+	}
+}
