@@ -5,11 +5,16 @@
 // (the joint placement the paper lists as future work) on the PageRank
 // array set.
 //
+// With -live it runs the drifting-workload demonstration: a scan-profiled
+// §6 decision re-scored against live per-array telemetry until the access
+// pattern flips it, emitting DecisionDrift audit events.
+//
 // Observability: -trace writes one structured decision event per
 // adaptivity step (candidate set, profiled counter inputs, chosen
 // configuration, estimated vs realized cost) as JSONL; -metrics-out
-// writes the recorder's aggregate metrics; -pprof/-cpuprofile/-memprofile
-// profile the evaluation itself.
+// writes the recorder's aggregate metrics; -serve exposes the live
+// introspection endpoints (/metrics /arrays /trace /decisions);
+// -pprof/-cpuprofile/-memprofile profile the evaluation itself.
 package main
 
 import (
@@ -20,14 +25,17 @@ import (
 
 	"smartarrays/internal/adapt"
 	"smartarrays/internal/bench"
+	"smartarrays/internal/core"
 	"smartarrays/internal/machine"
 	"smartarrays/internal/obs"
+	"smartarrays/internal/obs/serve"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print every decision in the grid")
 	table2 := flag.Bool("table2", false, "print Table 2 (trade-offs) and exit")
 	multi := flag.Bool("multi", false, "demonstrate multi-array joint placement (PageRank array set)")
+	live := flag.Bool("live", false, "demonstrate live re-scoring: a drifting workload flips its §6 decision mid-run")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -37,12 +45,23 @@ func main() {
 	if of.Active() {
 		rec = obs.NewRecorder(0)
 	}
+	var reg *obs.ArrayRegistry
+	if of.Serve != "" {
+		reg = obs.NewArrayRegistry()
+		core.SetArrayRegistry(reg)
+		addr, _, err := serve.New(rec, reg).Start(of.Serve)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "saadapt: introspection server on http://%s\n", addr)
+	}
 
 	switch {
 	case *table2:
 		bench.PrintTable2(os.Stdout)
 	case *multi:
 		runMulti(rec)
+	case *live:
+		rep := bench.RunLiveAdaptivity(bench.LiveConfig{Recorder: rec, Arrays: reg})
+		bench.PrintLiveReport(os.Stdout, rep)
 	default:
 		rep := bench.RunAdaptivityRecorded(rec)
 		bench.PrintAdaptReport(os.Stdout, rep, *verbose)

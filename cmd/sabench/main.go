@@ -11,7 +11,10 @@
 // Observability: -metrics-out writes the machine-readable
 // bench_report.json (the CI bench gate's input), -trace writes the
 // structured event log (RTS loop statistics, counter snapshots) as JSONL,
-// and -pprof/-cpuprofile/-memprofile profile the harness itself.
+// -serve exposes the live introspection endpoints (/metrics /arrays
+// /trace /decisions) with per-array telemetry enabled while the run
+// executes, and -pprof/-cpuprofile/-memprofile profile the harness
+// itself.
 package main
 
 import (
@@ -20,7 +23,9 @@ import (
 	"os"
 
 	"smartarrays/internal/bench"
+	"smartarrays/internal/core"
 	"smartarrays/internal/obs"
+	"smartarrays/internal/obs/serve"
 )
 
 func main() {
@@ -39,7 +44,15 @@ func main() {
 	if of.Active() {
 		rec = obs.NewRecorder(0)
 	}
-	opts := bench.Options{Elements: *elements, GraphVertices: 1000, Verify: *verify, Recorder: rec, Steal: *steal}
+	var reg *obs.ArrayRegistry
+	if of.Serve != "" {
+		reg = obs.NewArrayRegistry()
+		core.SetArrayRegistry(reg)
+		addr, _, err := serve.New(rec, reg).Start(of.Serve)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "sabench: introspection server on http://%s\n", addr)
+	}
+	opts := bench.Options{Elements: *elements, GraphVertices: 1000, Verify: *verify, Recorder: rec, Steal: *steal, Arrays: reg}
 	tool := fmt.Sprintf("sabench -fig %d", *fig)
 
 	var report *obs.BenchReport
@@ -71,6 +84,9 @@ func main() {
 	if *kernels {
 		rows, err := bench.RunFusedKernels(opts)
 		exitOn(err)
+		telRow, err := bench.RunKernelTelemetryRow(opts)
+		exitOn(err)
+		rows = append(rows, telRow)
 		bench.PrintKernelTable(os.Stdout, rows)
 		if report != nil {
 			krep := bench.KernelBenchReport(tool, rows)

@@ -11,8 +11,9 @@
 //
 // Observability: -metrics-out writes the machine-readable
 // bench_report.json, -trace the structured event log (RTS loop
-// statistics) as JSONL, and -pprof/-cpuprofile/-memprofile profile the
-// harness itself.
+// statistics) as JSONL, -serve exposes the live introspection endpoints
+// (/metrics /arrays /trace /decisions) with per-array telemetry enabled,
+// and -pprof/-cpuprofile/-memprofile profile the harness itself.
 package main
 
 import (
@@ -21,8 +22,10 @@ import (
 	"os"
 
 	"smartarrays/internal/bench"
+	"smartarrays/internal/core"
 	"smartarrays/internal/machine"
 	"smartarrays/internal/obs"
+	"smartarrays/internal/obs/serve"
 )
 
 func main() {
@@ -40,7 +43,15 @@ func main() {
 	if of.Active() {
 		rec = obs.NewRecorder(0)
 	}
-	opts := bench.Options{Elements: 1 << 18, GraphVertices: *vertices, Verify: *verify, Recorder: rec, Steal: *steal}
+	var reg *obs.ArrayRegistry
+	if of.Serve != "" {
+		reg = obs.NewArrayRegistry()
+		core.SetArrayRegistry(reg)
+		addr, _, err := serve.New(rec, reg).Start(of.Serve)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "sagraph: introspection server on http://%s\n", addr)
+	}
+	opts := bench.Options{Elements: 1 << 18, GraphVertices: *vertices, Verify: *verify, Recorder: rec, Steal: *steal, Arrays: reg}
 	tool := fmt.Sprintf("sagraph -fig %d", *fig)
 
 	var report *obs.BenchReport

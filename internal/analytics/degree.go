@@ -20,6 +20,7 @@ import (
 // plus writing the 64-bit output.
 func DegreeCentrality(rt *rts.Runtime, g *graph.SmartCSR) (*core.SmartArray, perfmodel.Workload, error) {
 	out, err := core.Allocate(rt.Memory(), core.Config{
+		Name:      "out-degrees",
 		Length:    g.NumVertices,
 		Bits:      64,
 		Placement: memsim.Interleaved,

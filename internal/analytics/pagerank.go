@@ -64,11 +64,12 @@ func allocPageRank(rt *rts.Runtime, g *graph.SmartCSR, degBits uint) (*prState, 
 	layout := g.Layout()
 	st := &prState{}
 	var err error
-	alloc := func(bits uint, what string) *core.SmartArray {
+	alloc := func(bits uint, name, what string) *core.SmartArray {
 		if err != nil {
 			return nil
 		}
 		a, e := core.Allocate(rt.Memory(), core.Config{
+			Name:   name,
 			Length: n, Bits: bits,
 			Placement: layout.Placement, Socket: layout.Socket,
 		})
@@ -77,10 +78,10 @@ func allocPageRank(rt *rts.Runtime, g *graph.SmartCSR, degBits uint) (*prState, 
 		}
 		return a
 	}
-	st.outDeg = alloc(degBits, "out-degree property")
-	st.invDeg = alloc(64, "inverse out-degrees")
-	st.ranks = alloc(64, "ranks")
-	st.next = alloc(64, "next ranks")
+	st.outDeg = alloc(degBits, "out-degrees", "out-degree property")
+	st.invDeg = alloc(64, "inv-degrees", "inverse out-degrees")
+	st.ranks = alloc(64, "ranks", "ranks")
+	st.next = alloc(64, "next-ranks", "next ranks")
 	if err != nil {
 		st.free()
 		return nil, err

@@ -109,6 +109,7 @@ func BuildWeights(rt *rts.Runtime, g *graph.SmartCSR, weights []uint64) (*core.S
 	}
 	layout := g.Layout()
 	arr, err := core.Allocate(rt.Memory(), core.Config{
+		Name:      "edge-weights",
 		Length:    g.NumEdges,
 		Bits:      bitpack.MinBitsFor(weights),
 		Placement: layout.Placement,

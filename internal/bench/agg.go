@@ -76,8 +76,7 @@ func initFormula(i uint64, mask uint64) uint64 {
 // then models the paper-scale run.
 func RunAggregation(cfg AggConfig, opts Options) (AggResult, error) {
 	rt := rts.New(cfg.Machine)
-	rt.SetRecorder(opts.Recorder)
-	rt.SetStealing(opts.Steal)
+	opts.instrument(rt)
 	codec, err := bitpack.New(cfg.Bits)
 	if err != nil {
 		return AggResult{}, err

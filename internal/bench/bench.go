@@ -20,6 +20,7 @@ import (
 
 	"smartarrays/internal/machine"
 	"smartarrays/internal/obs"
+	"smartarrays/internal/rts"
 )
 
 // Lang selects the implementation language of a workload (Figure 10 runs
@@ -65,6 +66,20 @@ type Options struct {
 	// Steal enables Callisto cross-socket work stealing in the real runs.
 	// Off by default so loop statistics stay stripe-attributed.
 	Steal bool
+	// Arrays, when non-nil, receives per-array access telemetry from every
+	// real run (worker-local accumulation, folded at loop barriers). The
+	// caller pairs it with core.SetArrayRegistry so allocations register;
+	// the introspection server's /arrays endpoint reads the same registry.
+	Arrays *obs.ArrayRegistry
+}
+
+// instrument wires the options' observability sinks and scheduler knobs
+// into a freshly created runtime. Every experiment runner calls this right
+// after rts.New.
+func (o Options) instrument(rt *rts.Runtime) {
+	rt.SetRecorder(o.Recorder)
+	rt.SetStealing(o.Steal)
+	rt.SetArrayProfiling(o.Arrays)
 }
 
 // DefaultOptions returns CI-friendly scales.

@@ -84,8 +84,7 @@ func RunFigure11(opts Options) ([]GraphResult, error) {
 	var rows []GraphResult
 	for _, spec := range Machines() {
 		rt := rts.New(spec)
-		rt.SetRecorder(opts.Recorder)
-		rt.SetStealing(opts.Steal)
+		opts.instrument(rt)
 		g, err := graph.GenerateUniform(opts.GraphVertices, PaperDegreeDegree, 42)
 		if err != nil {
 			return nil, err
@@ -179,8 +178,7 @@ func RunFigure12(opts Options) ([]GraphResult, error) {
 	var rows []GraphResult
 	for _, spec := range Machines() {
 		rt := rts.New(spec)
-		rt.SetRecorder(opts.Recorder)
-		rt.SetStealing(opts.Steal)
+		opts.instrument(rt)
 		g, err := graph.GeneratePowerLaw(opts.GraphVertices, 8, 1.6, 42)
 		if err != nil {
 			return nil, err
@@ -260,8 +258,7 @@ func runPageRankVariant(rt *rts.Runtime, g *graph.CSR, spec *machine.Spec, v Gra
 func RunFigure1(opts Options) (original, replicated GraphResult, err error) {
 	spec := machine.X52Small()
 	rt := rts.New(spec)
-	rt.SetRecorder(opts.Recorder)
-	rt.SetStealing(opts.Steal)
+	opts.instrument(rt)
 	g, err := graph.GeneratePowerLaw(opts.GraphVertices, 8, 1.6, 42)
 	if err != nil {
 		return GraphResult{}, GraphResult{}, err

@@ -46,6 +46,7 @@ type InteropResult struct {
 func RunFigure3(opts Options) ([]InteropResult, error) {
 	n := opts.Elements
 	rt := rts.New(machine.X52Small())
+	opts.instrument(rt)
 	ep := interop.NewEntryPoints(rt.Memory())
 	a, err := core.Allocate(rt.Memory(), core.Config{Length: n, Bits: 64, Placement: memsim.Interleaved})
 	if err != nil {

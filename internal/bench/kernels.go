@@ -51,8 +51,7 @@ func countThreshold(mask uint64) uint64 { return mask / 2 }
 func RunFusedKernels(opts Options) ([]KernelResult, error) {
 	spec := machine.X52Large()
 	rt := rts.New(spec)
-	rt.SetRecorder(opts.Recorder)
-	rt.SetStealing(opts.Steal)
+	opts.instrument(rt)
 
 	var rows []KernelResult
 	for _, bits := range kernelBits {
@@ -197,6 +196,61 @@ func RunFusedKernels(opts Options) ([]KernelResult, error) {
 		)
 	}
 	return rows, nil
+}
+
+// RunKernelTelemetryRow runs the fused-sum kernel at the narrow width with
+// the full telemetry stack live — recorder, loop histogram, spans, and
+// per-array access profiling — and reports it as its own gated row. Its
+// modeled ns/op must stay identical to the plain fused-sum row at the same
+// width: telemetry accumulates worker-locally and folds at loop barriers,
+// so it adds no modeled instructions or traffic. The Verified flag
+// additionally requires the registry to have attributed every accounted
+// element, so the gate catches a broken accounting path as well as any
+// accidental modeling cost.
+func RunKernelTelemetryRow(opts Options) (KernelResult, error) {
+	const bits = 10
+	spec := machine.X52Large()
+	rec := obs.NewRecorder(0)
+	reg := obs.NewArrayRegistry()
+	prev := core.ActiveArrayRegistry()
+	core.SetArrayRegistry(reg)
+	defer core.SetArrayRegistry(prev)
+	rt := rts.New(spec)
+	rt.SetRecorder(rec)
+	rt.SetStealing(opts.Steal)
+	rt.SetArrayProfiling(reg)
+
+	a, err := core.Allocate(rt.Memory(), core.Config{
+		Length: opts.Elements, Bits: bits, Placement: memsim.Interleaved,
+		Name: "kernel-telemetry",
+	})
+	if err != nil {
+		return KernelResult{}, err
+	}
+	defer a.Free()
+	mask := a.Codec().Mask()
+	for i := uint64(0); i < opts.Elements; i++ {
+		a.Init(0, i, initFormula(i, mask))
+	}
+
+	span := rec.StartSpan("kernel.fused-sum")
+	sum := rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+		a.AccountReduce(w.Counters, lo, hi)
+		return core.ReduceRange(a, w.Socket, lo, hi, core.ReduceSum)
+	})
+	span.End()
+
+	sumOK := sum == core.SumRangeIter(a, 0, 0, opts.Elements)
+	p, found := reg.Profile(a.TelemetryID())
+	telOK := found && p.Access.ReduceElems == opts.Elements && p.Folds > 0
+	histOK := rec.Metrics().Histograms[rts.LoopHistogram].Count >= 1
+	ok := sumOK && telOK && histOK
+	if opts.Verify && !ok {
+		return KernelResult{}, fmt.Errorf(
+			"bench: telemetry kernel mismatch (sum ok=%v, profile ok=%v, histogram ok=%v)",
+			sumOK, telOK, histOK)
+	}
+	return modelKernel(spec, "fused-sum-telemetry", bits, perfmodel.CostReduce(bits), 1, ok), nil
 }
 
 // modelKernel evaluates the paper-scale kernel for one cell: readPasses

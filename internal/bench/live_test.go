@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"smartarrays/internal/obs"
+)
+
+// TestRunLiveAdaptivity is the end-to-end drift scenario: a scan-profiled
+// decision, a gather-heavy live phase, and at least one DecisionDrift
+// event recorded when the live profile diverges.
+func TestRunLiveAdaptivity(t *testing.T) {
+	rec := obs.NewRecorder(4096)
+	rep := RunLiveAdaptivity(LiveConfig{Elements: 1 << 16, Recorder: rec})
+
+	if !rep.Verified {
+		t.Fatalf("live run failed verification: %+v", rep)
+	}
+	if !rep.Initial.Compressed {
+		t.Fatalf("initial decision should pick compression for the scan phase, got %s (%s)",
+			rep.Initial, rep.Initial.Reason)
+	}
+	if rep.Drifts == 0 {
+		t.Fatalf("gather phase should flip the decision; profile random share %.3f",
+			rep.Profile.RandomShare())
+	}
+	if rep.Final.Compressed {
+		t.Errorf("live pick should reject compression under random accesses, got %s", rep.Final)
+	}
+	if rep.DriftCheck == 0 || rep.DriftCheck > rep.Checks {
+		t.Errorf("DriftCheck = %d out of range (1..%d)", rep.DriftCheck, rep.Checks)
+	}
+
+	// The drift must surface as a recorded event and in the metrics
+	// rollup.
+	m := rec.Metrics()
+	if m.Drifts != rep.Drifts {
+		t.Errorf("metrics drift count = %d, report = %d", m.Drifts, rep.Drifts)
+	}
+	var sawDrift, sawSpan bool
+	for _, ev := range rec.Events() {
+		if ev.Drift != nil {
+			sawDrift = true
+			if ev.Drift.Initial == ev.Drift.Live {
+				t.Errorf("drift event with identical before/after: %+v", *ev.Drift)
+			}
+			if ev.Drift.Array != "live-hot" {
+				t.Errorf("drift event array = %q, want live-hot", ev.Drift.Array)
+			}
+		}
+		if ev.Span != nil {
+			sawSpan = true
+		}
+	}
+	if !sawDrift {
+		t.Error("no KindDrift event in the ring")
+	}
+	if !sawSpan {
+		t.Error("no span events recorded for the phases")
+	}
+
+	// The telemetry profile must reflect both phases.
+	if rep.Profile.Access.ReduceElems == 0 || rep.Profile.Access.GatherElems == 0 {
+		t.Errorf("profile missing phase counts: %+v", rep.Profile.Access)
+	}
+	if sel, ok := rep.Profile.Selectivity(); !ok || sel <= 0 || sel >= 1 {
+		t.Errorf("predicate selectivity = %v ok=%v, want in (0,1)", sel, ok)
+	}
+	if got := rep.Profile.RandomShare(); got <= 0.10 {
+		t.Errorf("final random share = %.3f, want above significance threshold", got)
+	}
+}

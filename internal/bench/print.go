@@ -91,6 +91,30 @@ func PrintAdaptReport(w io.Writer, rep AdaptReport, verbose bool) {
 	tw.Flush()
 }
 
+// PrintLiveReport writes the drifting-workload live-adaptivity summary.
+func PrintLiveReport(w io.Writer, rep LiveReport) {
+	fmt.Fprintln(w, "Live adaptivity: scan-profiled decision vs drifting workload")
+	fmt.Fprintf(w, "  machine %s, %d elements at %d bits\n", rep.Machine, rep.Elements, rep.Bits)
+	fmt.Fprintf(w, "  initial decision: %s (%s)\n", rep.Initial, rep.Initial.Reason)
+	fmt.Fprintf(w, "  live re-scores: %d, drift events: %d", rep.Checks, rep.Drifts)
+	if rep.DriftCheck > 0 {
+		fmt.Fprintf(w, " (first flip at check %d)", rep.DriftCheck)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  final decision: %s (%s)\n", rep.Final, rep.Final.Reason)
+	fmt.Fprintf(w, "  live profile: random share %.2f, chunk-decode share %.2f, %.1f reads/element, %d folds\n",
+		rep.Profile.RandomShare(), rep.Profile.ChunkDecodeShare(),
+		rep.Profile.ReadsPerElement(), rep.Profile.Folds)
+	if sel, ok := rep.Profile.Selectivity(); ok {
+		fmt.Fprintf(w, "  observed predicate selectivity: %.2f\n", sel)
+	}
+	if rep.MigratedBytes > 0 {
+		fmt.Fprintf(w, "  migrated array to %s (%.1f MB moved)\n",
+			rep.Profile.Placement, float64(rep.MigratedBytes)/1e6)
+	}
+	fmt.Fprintf(w, "  verified: %v\n", rep.Verified)
+}
+
 // PrintTable1 writes the Table 1 machine characteristics.
 func PrintTable1(w io.Writer) {
 	fmt.Fprintln(w, "Table 1: machine characteristics (Oracle X5-2)")

@@ -72,6 +72,7 @@ func RunStream(opts Options) ([]StreamResult, error) {
 	var rows []StreamResult
 	for _, spec := range Machines() {
 		rt := rts.New(spec)
+		opts.instrument(rt)
 		for _, placement := range []memsim.Placement{memsim.SingleSocket, memsim.Interleaved, memsim.Replicated} {
 			for k := StreamCopy; k <= StreamTriad; k++ {
 				row, err := runStreamKernel(rt, spec, k, placement, opts)

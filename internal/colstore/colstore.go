@@ -97,6 +97,7 @@ func (t *Table) AddColumn(name string, values []uint64, opts Options) (*Column, 
 		return nil, fmt.Errorf("colstore: duplicate column %q", name)
 	}
 	arr, err := core.Allocate(t.rt.Memory(), core.Config{
+		Name:      name,
 		Length:    t.rows,
 		Bits:      bitpack.MinBitsFor(values),
 		Placement: opts.Placement,

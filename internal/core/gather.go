@@ -92,12 +92,17 @@ func (a *SmartArray) AccountGather(sh *counters.Shard, n uint64, localityBoost f
 	if n == 0 {
 		return
 	}
+	t := a.track(sh)
 	spec := a.mem.Spec()
 	elemBytes := float64(a.CompressedBytes()) / float64(a.length)
 	eff := perfmodel.RandomReadBytes(float64(a.CompressedBytes()), elemBytes, spec.LLCMB*1e6, localityBoost)
 	a.region.AccountRandom(sh, n, uint64(eff))
 	sh.Access(n)
 	sh.Instr(uint64(float64(n) * perfmodel.CostGather(a.codec.Bits())))
+	if aa := t.done(sh); aa != nil {
+		aa.Gathers++
+		aa.GatherElems += n
+	}
 }
 
 // AccountStream charges the traffic and instructions of streaming elements
@@ -108,9 +113,14 @@ func (a *SmartArray) AccountStream(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	t := a.track(sh)
 	loWord, hiWord := a.WordRange(lo, hi)
 	a.region.AccountScan(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Access(n)
 	sh.Instr(uint64(float64(n) * perfmodel.CostStream(a.codec.Bits())))
+	if aa := t.done(sh); aa != nil {
+		aa.Streams++
+		aa.StreamElems += n
+	}
 }

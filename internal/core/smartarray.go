@@ -20,6 +20,7 @@ import (
 	"smartarrays/internal/bitpack"
 	"smartarrays/internal/counters"
 	"smartarrays/internal/memsim"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/perfmodel"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	Placement memsim.Placement
 	// Socket is the target socket for SingleSocket placement.
 	Socket int
+	// Name labels the array in the telemetry registry ("ranks", "edge",
+	// a column name); empty gets a generated "array-<id>" label. Unused
+	// when no registry is attached.
+	Name string
 }
 
 // SmartArray is a placed, optionally bit-compressed array of unsigned
@@ -48,6 +53,11 @@ type SmartArray struct {
 	region *memsim.Region
 	codec  bitpack.Codec
 	length uint64
+	// id/reg are the array's telemetry registration (see telemetry.go);
+	// id 0 means unregistered and keeps every accounting hook's telemetry
+	// branch to a single integer check.
+	id  uint64
+	reg *obs.ArrayRegistry
 }
 
 // Allocate creates a smart array per cfg in the given simulated memory.
@@ -63,7 +73,9 @@ func Allocate(mem *memsim.Memory, cfg Config) (*SmartArray, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating %d elements at %d bits: %w", cfg.Length, cfg.Bits, err)
 	}
-	return &SmartArray{mem: mem, region: region, codec: codec, length: cfg.Length}, nil
+	a := &SmartArray{mem: mem, region: region, codec: codec, length: cfg.Length}
+	a.register(cfg.Name)
+	return a, nil
 }
 
 // AllocateFor creates a smart array sized and compressed for values, using
@@ -85,12 +97,14 @@ func AllocateFor(mem *memsim.Memory, values []uint64, placement memsim.Placement
 	return a, nil
 }
 
-// Free releases the array's simulated memory.
+// Free releases the array's simulated memory. The telemetry profile, if
+// any, is marked freed but kept for post-mortem inspection.
 func (a *SmartArray) Free() {
 	if a.region != nil {
 		a.region.Free()
 		a.region = nil
 	}
+	a.reg.MarkFreed(a.id)
 }
 
 // Length is the number of elements (paper: getLength()).
@@ -191,7 +205,11 @@ func (a *SmartArray) WordRange(lo, hi uint64) (loWord, hiWord uint64) {
 // Migrate restructures the array to a new placement in place, returning
 // the traffic the restructuring generates (§6's on-the-fly adaptation).
 func (a *SmartArray) Migrate(p memsim.Placement, socket int) (trafficBytes uint64, err error) {
-	return a.region.Migrate(p, socket)
+	trafficBytes, err = a.region.Migrate(p, socket)
+	if err == nil {
+		a.reg.SetPlacement(a.id, p.String())
+	}
+	return trafficBytes, err
 }
 
 // AccountScan charges the traffic and instructions of sequentially reading
@@ -202,11 +220,16 @@ func (a *SmartArray) AccountScan(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	t := a.track(sh)
 	loWord, hiWord := a.WordRange(lo, hi)
 	a.region.AccountScan(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Access(n)
 	sh.Instr(uint64(float64(n) * perfmodel.CostScan(a.codec.Bits())))
+	if aa := t.done(sh); aa != nil {
+		aa.Scans++
+		aa.ScanElems += n
+	}
 }
 
 // AccountReduce charges the traffic and instructions of a fused reduction
@@ -217,11 +240,16 @@ func (a *SmartArray) AccountReduce(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	t := a.track(sh)
 	loWord, hiWord := a.WordRange(lo, hi)
 	a.region.AccountScan(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Access(n)
 	sh.Instr(uint64(float64(n) * perfmodel.CostReduce(a.codec.Bits())))
+	if aa := t.done(sh); aa != nil {
+		aa.Reduces++
+		aa.ReduceElems += n
+	}
 }
 
 // AccountInit charges the traffic and instructions of initializing
@@ -230,10 +258,15 @@ func (a *SmartArray) AccountInit(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	t := a.track(sh)
 	loWord, hiWord := a.WordRange(lo, hi)
 	a.region.AccountWrite(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Instr(uint64(float64(n) * perfmodel.CostInit(a.codec.Bits()) * float64(a.region.Replicas())))
+	if aa := t.done(sh); aa != nil {
+		aa.Inits++
+		aa.InitElems += n
+	}
 }
 
 // AccountRandomGets charges n random element reads: amplified DRAM traffic
@@ -246,8 +279,13 @@ func (a *SmartArray) AccountRandomGets(sh *counters.Shard, n uint64, localityBoo
 	}
 	spec := a.mem.Spec()
 	elemBytes := float64(a.CompressedBytes()) / float64(a.length)
+	t := a.track(sh)
 	eff := perfmodel.RandomReadBytes(float64(a.CompressedBytes()), elemBytes, spec.LLCMB*1e6, localityBoost)
 	a.region.AccountRandom(sh, n, uint64(eff))
 	sh.Access(n)
 	sh.Instr(uint64(float64(n) * perfmodel.CostGet(a.codec.Bits())))
+	if aa := t.done(sh); aa != nil {
+		aa.Gets++
+		aa.GetElems += n
+	}
 }

@@ -43,6 +43,9 @@ type Shard struct {
 	remoteBySrc []uint64
 	// writesByDst[m] is bytes this thread wrote to socket m's memory.
 	writesByDst []uint64
+	// arrays, when non-nil, accumulates per-smart-array access telemetry
+	// between registry folds (see arrayaccess.go). nil = profiling off.
+	arrays map[uint64]*ArrayAccess
 }
 
 // NewShard creates a shard for a worker on the given socket of a machine
@@ -110,6 +113,9 @@ func (s *Shard) Reset() {
 	s.RemoteWriteBytes = 0
 	s.RandomAccesses = 0
 	s.Accesses = 0
+	for id := range s.arrays {
+		delete(s.arrays, id)
+	}
 }
 
 // SocketTotals is the aggregate view of one socket's activity, the unit the

@@ -62,17 +62,18 @@ func NewSmartCSR(mem *memsim.Memory, g *CSR, layout Layout) (*SmartCSR, error) {
 	var err error
 	free := func() { s.Free() }
 
-	alloc := func(length uint64, bits uint) (*core.SmartArray, error) {
+	alloc := func(name string, length uint64, bits uint) (*core.SmartArray, error) {
 		return core.Allocate(mem, core.Config{
+			Name:   name,
 			Length: length, Bits: bits,
 			Placement: layout.Placement, Socket: layout.Socket,
 		})
 	}
-	if s.Begin, err = alloc(g.NumVertices+1, beginBits); err != nil {
+	if s.Begin, err = alloc("begin", g.NumVertices+1, beginBits); err != nil {
 		free()
 		return nil, fmt.Errorf("graph: begin: %w", err)
 	}
-	if s.RBegin, err = alloc(g.NumVertices+1, beginBits); err != nil {
+	if s.RBegin, err = alloc("rbegin", g.NumVertices+1, beginBits); err != nil {
 		free()
 		return nil, fmt.Errorf("graph: rbegin: %w", err)
 	}
@@ -80,11 +81,11 @@ func NewSmartCSR(mem *memsim.Memory, g *CSR, layout Layout) (*SmartCSR, error) {
 	if edgeLen == 0 {
 		edgeLen = 1 // smart arrays are non-empty; edgeless graphs keep a stub
 	}
-	if s.Edge, err = alloc(edgeLen, edgeBits); err != nil {
+	if s.Edge, err = alloc("edge", edgeLen, edgeBits); err != nil {
 		free()
 		return nil, fmt.Errorf("graph: edge: %w", err)
 	}
-	if s.REdge, err = alloc(edgeLen, edgeBits); err != nil {
+	if s.REdge, err = alloc("redge", edgeLen, edgeBits); err != nil {
 		free()
 		return nil, fmt.Errorf("graph: redge: %w", err)
 	}

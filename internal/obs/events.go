@@ -19,6 +19,12 @@ const (
 	KindMultiDecision Kind = "multi-decision"
 	// KindPhase is a free-form phase marker (Label payload only).
 	KindPhase Kind = "phase"
+	// KindSpan is a completed nested phase span (SpanEvent payload).
+	KindSpan Kind = "span"
+	// KindDrift is a live-telemetry adaptivity drift audit event
+	// (DriftEvent payload): the live per-array profile would flip a §6
+	// decision made from the initial one-shot profile.
+	KindDrift Kind = "drift"
 )
 
 // Event is the trace envelope: exactly one payload pointer is set,
@@ -35,6 +41,8 @@ type Event struct {
 	Counters      *CountersEvent      `json:"counters,omitempty"`
 	Decision      *DecisionEvent      `json:"decision,omitempty"`
 	MultiDecision *MultiDecisionEvent `json:"multiDecision,omitempty"`
+	Span          *SpanEvent          `json:"span,omitempty"`
+	Drift         *DriftEvent         `json:"drift,omitempty"`
 }
 
 // LoopStats describes one ParallelFor execution: how the dynamic batch
@@ -243,6 +251,37 @@ type MultiDecisionEvent struct {
 	// FitsCapacity is false when even the all-interleaved start exceeded
 	// the budget and the caller must shed data or compress.
 	FitsCapacity bool `json:"fitsCapacity"`
+}
+
+// DriftEvent is the adaptivity audit record for a live re-score: the §6
+// decision diagrams were re-walked against the measured per-array
+// telemetry (AccessProfile) and chose differently than the initial
+// one-shot profile did. The event carries both picks, the observed
+// signals that flipped the walk, and the re-scored speedup estimates —
+// the full "why" of the drift.
+type DriftEvent struct {
+	// Name identifies the workload; Array the profiled smart array.
+	Name  string `json:"name"`
+	Array string `json:"array,omitempty"`
+	// Initial/Live are the configuration labels (Candidate.String()) of
+	// the original decision and the one the live profile selects.
+	Initial string `json:"initial"`
+	Live    string `json:"live"`
+	// InitialPredicted/LivePredicted are the §6.2 speedup estimates of
+	// the two picks, each under its own profile.
+	InitialPredicted float64 `json:"initialPredicted,omitempty"`
+	LivePredicted    float64 `json:"livePredicted,omitempty"`
+	// Observed live signals at re-score time.
+	RandomShare      float64 `json:"randomShare"`
+	ChunkDecodeShare float64 `json:"chunkDecodeShare"`
+	LocalShare       float64 `json:"localShare"`
+	Selectivity      float64 `json:"selectivity,omitempty"`
+	ReadsPerElement  float64 `json:"readsPerElement"`
+	// Folds is the profile's fold count at re-score time (how much
+	// telemetry backed the flip).
+	Folds uint64 `json:"folds"`
+	// Reason explains the live pick (the decision-diagram path taken).
+	Reason string `json:"reason,omitempty"`
 }
 
 // MachineRecord is the JSON form of the machine spec a report ran on —

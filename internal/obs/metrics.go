@@ -50,10 +50,15 @@ type Metrics struct {
 	Dropped uint64 `json:"dropped"`
 	// Loops summarizes RTS scheduling behavior.
 	Loops LoopSummary `json:"loops"`
-	// Decisions counts adaptivity decision events (single + multi).
+	// Decisions counts adaptivity decision events (single + multi);
+	// Drifts counts live-telemetry drift audit events.
 	Decisions int `json:"decisions"`
+	Drifts    int `json:"drifts,omitempty"`
 	// Counters is the most recent counter-fabric snapshot seen, if any.
 	Counters []SocketCounters `json:"counters,omitempty"`
+	// Histograms are the named latency distributions (loop and span
+	// timings), keyed by histogram name.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Metrics snapshots the recorder's aggregates. Safe on nil (zero value).
@@ -66,20 +71,15 @@ func (r *Recorder) Metrics() Metrics {
 		Events:    r.total,
 		Loops:     r.loops,
 		Decisions: r.nDecide,
+		Drifts:    r.nDrift,
+		// Kept incrementally by Record, so no ring walk here.
+		Counters: r.lastCounters,
 	}
 	if r.total > uint64(len(r.ring)) {
 		m.Dropped = r.total - uint64(len(r.ring))
 	}
 	r.mu.Unlock()
-	// Latest counters snapshot comes from the retained events (cheap scan,
-	// newest first).
-	evs := r.Events()
-	for i := len(evs) - 1; i >= 0; i-- {
-		if evs[i].Counters != nil {
-			m.Counters = evs[i].Counters.Sockets
-			break
-		}
-	}
+	m.Histograms = r.Histograms()
 	return m
 }
 
@@ -128,6 +128,11 @@ func (s *LoopSummary) UnmarshalJSON(b []byte) error {
 		MaxClaimImbalance:   w.MaxClaimImbalance,
 		MeanClaimImbalance:  w.MeanClaimImbalance,
 		MeanGrainEfficiency: w.MeanGrainEfficiency,
+		// Rebuild the private mean accumulators from mean × loops, so a
+		// summary restored from a report keeps computing correct means on
+		// subsequent add() calls instead of restarting the sums at zero.
+		sumImbalance: w.MeanClaimImbalance * float64(w.Loops),
+		sumGrainEff:  w.MeanGrainEfficiency * float64(w.Loops),
 	}
 	return nil
 }

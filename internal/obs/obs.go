@@ -48,6 +48,13 @@ type Recorder struct {
 	total   uint64 // events ever recorded (ring index = total % cap)
 	loops   LoopSummary
 	nDecide int
+	nDrift  int
+	// lastCounters is the most recent counters snapshot, kept
+	// incrementally so Metrics() never has to walk the ring.
+	lastCounters []SocketCounters
+	// hists is the named latency-histogram table (see histogram.go); it
+	// has its own lock, so Observe never contends with Record.
+	hists histogramSet
 }
 
 // NewRecorder creates a recorder whose ring holds capacity events
@@ -74,6 +81,10 @@ func (r *Recorder) Record(ev Event) {
 		r.loops.add(ev.Loop)
 	case ev.Decision != nil || ev.MultiDecision != nil:
 		r.nDecide++
+	case ev.Drift != nil:
+		r.nDrift++
+	case ev.Counters != nil:
+		r.lastCounters = ev.Counters.Sockets
 	}
 	r.mu.Unlock()
 }
@@ -91,6 +102,11 @@ func (r *Recorder) RecordDecision(d DecisionEvent) {
 // RecordMultiDecision records a joint multi-array placement decision.
 func (r *Recorder) RecordMultiDecision(d MultiDecisionEvent) {
 	r.Record(Event{Kind: KindMultiDecision, MultiDecision: &d})
+}
+
+// RecordDrift records a live-telemetry adaptivity drift audit event.
+func (r *Recorder) RecordDrift(d DriftEvent) {
+	r.Record(Event{Kind: KindDrift, Drift: &d})
 }
 
 // RecordCounters records a counter-fabric snapshot.

@@ -54,12 +54,18 @@ func WriteHeapProfile(path string) error {
 //
 //	-trace FILE        write the structured event trace as JSONL
 //	-metrics-out FILE  write the run's report/metrics JSON
+//	-serve ADDR        serve live introspection endpoints while running
 //	-pprof ADDR        serve net/http/pprof on ADDR while running
 //	-cpuprofile FILE   write a CPU profile
 //	-memprofile FILE   write a heap profile at exit
+//
+// The -serve flag only carries the address; the CLIs construct the
+// obs/serve server themselves (obs cannot import its own sub-package) and
+// enable per-array telemetry for it.
 type Flags struct {
 	Trace      string
 	MetricsOut string
+	Serve      string
 	Pprof      string
 	CPUProfile string
 	MemProfile string
@@ -71,6 +77,7 @@ type Flags struct {
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Trace, "trace", "", "write the structured event trace (JSONL) to this file")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the machine-readable report/metrics JSON to this file")
+	fs.StringVar(&f.Serve, "serve", "", "serve live introspection (/metrics /arrays /trace /decisions) on this address while running")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -79,7 +86,7 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 // Active reports whether any observability output was requested (i.e.
 // whether the command should allocate a Recorder).
 func (f *Flags) Active() bool {
-	return f.Trace != "" || f.MetricsOut != ""
+	return f.Trace != "" || f.MetricsOut != "" || f.Serve != ""
 }
 
 // Start begins profiling as requested. Call after flag.Parse and before

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 )
@@ -88,6 +89,82 @@ func TestRecorderConcurrent(t *testing.T) {
 	m := r.Metrics()
 	if m.Loops.Loops != writers*perWriter {
 		t.Fatalf("Metrics.Loops.Loops = %d, want %d", m.Loops.Loops, writers*perWriter)
+	}
+}
+
+// TestRecorderMixedReadersWriters runs every producer the runtime has
+// (events, loops, spans, histograms, drift audits) against every consumer
+// the introspection server has (Events, Metrics, WriteTrace) on a small
+// ring that wraps constantly. Run under -race this polices the full
+// locking surface; the assertions check the ring stays coherent while
+// being overwritten.
+func TestRecorderMixedReadersWriters(t *testing.T) {
+	r := NewRecorder(32) // small: force wraparound under load
+	const writers = 8
+	const perWriter = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				switch i % 4 {
+				case 0:
+					r.Record(Event{Kind: KindPhase, Label: "p"})
+				case 1:
+					r.RecordLoop(LoopStats{Begin: 0, End: 64, Grain: 8, Batches: 8})
+				case 2:
+					s := r.StartSpan("mix")
+					s.Child("inner").End()
+					s.End()
+				case 3:
+					r.RecordDrift(DriftEvent{Array: "hot"})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			evs := r.Events()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("Events out of order under load: seq %d then %d", evs[j-1].Seq, evs[j].Seq)
+					return
+				}
+			}
+			_ = r.Metrics()
+			if err := r.WriteTrace(io.Discard); err != nil {
+				t.Errorf("WriteTrace: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	// Spans record 2 events per case-2 iteration, the rest 1 each.
+	perW := perWriter/4*5 + perWriter%4
+	wantTotal := uint64(writers * perW)
+	if got := r.Total(); got != wantTotal {
+		t.Fatalf("Total = %d, want %d", got, wantTotal)
+	}
+	if r.Len() != 32 {
+		t.Fatalf("Len = %d, want full ring 32", r.Len())
+	}
+	if r.Dropped() != wantTotal-32 {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), wantTotal-32)
+	}
+	m := r.Metrics()
+	if m.Drifts != writers*perWriter/4 {
+		t.Fatalf("Metrics.Drifts = %d, want %d", m.Drifts, writers*perWriter/4)
+	}
+	if m.Loops.Loops != uint64(writers*perWriter/4) {
+		t.Fatalf("Metrics.Loops.Loops = %d, want %d", m.Loops.Loops, writers*perWriter/4)
+	}
+	if m.Histograms["span:mix"].Count != uint64(writers*perWriter/4) {
+		t.Fatalf("span histogram count = %d, want %d", m.Histograms["span:mix"].Count, writers*perWriter/4)
 	}
 }
 

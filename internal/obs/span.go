@@ -1,0 +1,72 @@
+package obs
+
+import "time"
+
+// Span tracing: nested begin/end phases with wall time, recorded as ring
+// events when they end. Spans are the coarse-grained complement of the
+// per-loop statistics — a benchmark harness opens a span per figure, a
+// workload per phase, and the trace shows where the wall time went.
+// Every span's duration also feeds the recorder's "span:<name>" histogram,
+// so repeated phases (e.g. PageRank iterations) get latency distributions
+// for free.
+
+// SpanEvent is the payload of a completed span.
+type SpanEvent struct {
+	// Name identifies the phase; Depth is its nesting level (0 = root).
+	Name  string `json:"name"`
+	Depth int    `json:"depth"`
+	// StartUnixNs anchors the span on the wall clock; DurationNs is its
+	// length.
+	StartUnixNs int64 `json:"startUnixNs"`
+	DurationNs  int64 `json:"durationNs"`
+	// Parent names the enclosing span, empty at the root.
+	Parent string `json:"parent,omitempty"`
+}
+
+// Span is an in-flight phase. Obtain one from Recorder.StartSpan or
+// Span.Child; finish it with End. All methods are safe on nil, so
+// instrumented code needs no recorder branches.
+type Span struct {
+	rec    *Recorder
+	name   string
+	parent string
+	depth  int
+	start  time.Time
+}
+
+// StartSpan opens a root span. Safe on nil (returns nil).
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{rec: r, name: name, start: time.Now()}
+}
+
+// Child opens a nested span under s. Safe on nil (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{rec: s.rec, name: name, parent: s.name, depth: s.depth + 1, start: time.Now()}
+}
+
+// End closes the span: one KindSpan ring event plus an observation in the
+// "span:<name>" histogram. Safe on nil and idempotent enough for defer
+// (a second End records a second event; don't do that).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.rec.Record(Event{Kind: KindSpan, Label: s.name, Span: &SpanEvent{
+		Name:        s.name,
+		Depth:       s.depth,
+		Parent:      s.parent,
+		StartUnixNs: s.start.UnixNano(),
+		DurationNs:  int64(d),
+	}})
+	s.rec.Histogram("span:" + s.name).Observe(uint64(d))
+}

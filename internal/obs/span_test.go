@@ -1,0 +1,62 @@
+package obs
+
+import "testing"
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRecorder(16)
+	root := r.StartSpan("run")
+	child := root.Child("phase")
+	grand := child.Child("kernel")
+	grand.End()
+	child.End()
+	root.End()
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events, want 3 (innermost-first)", len(evs))
+	}
+	want := []struct {
+		name, parent string
+		depth        int
+	}{
+		{"kernel", "phase", 2},
+		{"phase", "run", 1},
+		{"run", "", 0},
+	}
+	for i, w := range want {
+		ev := evs[i]
+		if ev.Kind != KindSpan || ev.Span == nil {
+			t.Fatalf("event %d: kind %q span %v, want span payload", i, ev.Kind, ev.Span)
+		}
+		s := ev.Span
+		if s.Name != w.name || s.Parent != w.parent || s.Depth != w.depth {
+			t.Errorf("event %d: %q parent %q depth %d, want %q/%q/%d",
+				i, s.Name, s.Parent, s.Depth, w.name, w.parent, w.depth)
+		}
+		if s.DurationNs < 0 || s.StartUnixNs == 0 {
+			t.Errorf("event %d: implausible timing %+v", i, s)
+		}
+	}
+
+	// Each span's duration feeds the span:<name> histogram.
+	hists := r.Histograms()
+	for _, name := range []string{"span:run", "span:phase", "span:kernel"} {
+		if hists[name].Count != 1 {
+			t.Errorf("histogram %q count = %d, want 1", name, hists[name].Count)
+		}
+	}
+	if m := r.Metrics(); m.Events != 3 {
+		t.Errorf("Metrics.Events = %d, want 3", m.Events)
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var r *Recorder
+	s := r.StartSpan("x")
+	if s != nil {
+		t.Fatal("nil recorder must hand out nil spans")
+	}
+	c := s.Child("y") // must not panic
+	c.End()
+	s.End()
+}

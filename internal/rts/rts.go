@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smartarrays/internal/counters"
 	"smartarrays/internal/machine"
@@ -30,6 +31,10 @@ import (
 // Callisto uses small batches for fine-grained balancing; 2048 keeps the
 // claim overhead negligible for element-wise loop bodies.
 const DefaultGrain = 2048
+
+// LoopHistogram is the recorder histogram that receives one wall-time
+// observation per parallel loop execution.
+const LoopHistogram = "rts.loop"
 
 // Worker is one simulated hardware thread context.
 type Worker struct {
@@ -63,6 +68,11 @@ type Runtime struct {
 	// stealing enables cross-socket batch stealing once a worker's own
 	// stripe drains. See SetStealing for why it defaults off.
 	stealing bool
+	// areg, when set, receives per-array access telemetry: each worker's
+	// shard accumulates counters.ArrayAccess deltas worker-locally and
+	// the loop barrier folds them into the registry — once per loop, like
+	// the claim counters.
+	areg *obs.ArrayRegistry
 }
 
 // New creates a runtime for the given machine with one worker per hardware
@@ -117,6 +127,41 @@ func (r *Runtime) SetRecorder(rec *obs.Recorder) { r.rec = rec }
 
 // Recorder returns the attached recorder (nil when not recording).
 func (r *Runtime) Recorder() *obs.Recorder { return r.rec }
+
+// SetArrayProfiling attaches an array-telemetry registry: every worker
+// shard starts accumulating per-array access deltas, folded into reg at
+// each loop barrier (plus FoldArrayProfiles for sequential phases). nil
+// detaches and drops pending worker-local state. Arrays register
+// themselves via core.SetArrayRegistry — attach the same registry there,
+// or use the bench harness which wires both. Must not be called while a
+// parallel loop is running.
+func (r *Runtime) SetArrayProfiling(reg *obs.ArrayRegistry) {
+	r.areg = reg
+	for _, w := range r.workers {
+		if reg != nil {
+			w.Counters.EnableArrayProfiling()
+		} else {
+			w.Counters.DisableArrayProfiling()
+		}
+	}
+}
+
+// ArrayProfiles returns the attached telemetry registry (nil when off).
+func (r *Runtime) ArrayProfiles() *obs.ArrayRegistry { return r.areg }
+
+// FoldArrayProfiles folds every worker shard's pending per-array deltas
+// into the registry. The loop barrier does this automatically after each
+// parallel loop; call it manually after sequential phases (SequentialFor
+// bodies) so their accesses surface too. Must not run concurrently with a
+// parallel loop.
+func (r *Runtime) FoldArrayProfiles() {
+	if r.areg == nil {
+		return
+	}
+	for _, w := range r.workers {
+		r.areg.FoldShard(w.Counters)
+	}
+}
 
 // SetStealing enables or disables Callisto's cross-socket work stealing: a
 // worker whose socket stripe drains starts claiming batches from the
@@ -204,6 +249,19 @@ func (sh *loopShape) batch(b uint64) (lo, hi uint64) {
 // LoopStats event per execution.
 func (r *Runtime) runLoop(sh loopShape, body func(w *Worker, lo, hi uint64)) {
 	sockets := uint64(r.spec.Sockets)
+	var start time.Time
+	if r.rec != nil {
+		start = time.Now()
+	}
+	defer func() {
+		// One histogram observation and one registry fold per loop — the
+		// same "once per loop" cadence as the claim counters, so telemetry
+		// never adds synchronization to the batch hot path.
+		if r.rec != nil {
+			r.rec.Histogram(LoopHistogram).ObserveSince(start)
+		}
+		r.FoldArrayProfiles()
+	}()
 
 	if sh.numBatches == 1 {
 		// Batch 0 belongs to socket 0's stripe (batch b -> socket b%sockets),
