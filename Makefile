@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # Allowed ns/op regression (percent) for the bench gate.
 MAX_REGRESS ?= 25
 
-.PHONY: all build test race fmt vet fuzz-smoke bench-smoke bench-baseline ci
+.PHONY: all build test race fmt vet lint fuzz-smoke bench-smoke bench-baseline load-smoke ci
 
 all: build
 
@@ -28,6 +28,16 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Skips gracefully when staticcheck is not on
+# PATH (no-network sandboxes); the CI lint job installs a pinned version.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it; install with:"; \
+		echo "      go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
 # Run every fuzz target briefly so corpus regressions surface in PRs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/bitpack
@@ -48,5 +58,24 @@ bench-smoke:
 bench-baseline:
 	$(GO) run ./cmd/sabench -fig 2 -kernels -elements 65536 -metrics-out bench_baseline.json
 
-# Everything CI runs, in one shot.
-ci: build vet fmt test race fuzz-smoke bench-smoke
+# Query-service load gate: start saserve on a small dataset, drive it with
+# concurrent clients, and assert zero 5xx, non-zero qps, and a generous
+# p99 bound (see scripts/load_smoke.sh for the knobs).
+load-smoke:
+	sh scripts/load_smoke.sh
+
+# Everything CI runs, in one shot. Targets run to completion even after a
+# failure so one run reports every broken target, and the summary at the
+# end names the ones that failed.
+CI_TARGETS := build vet fmt lint test race fuzz-smoke bench-smoke load-smoke
+
+ci:
+	@failed=""; \
+	for t in $(CI_TARGETS); do \
+		echo "==> make $$t"; \
+		$(MAKE) --no-print-directory $$t || failed="$$failed $$t"; \
+	done; \
+	if [ -n "$$failed" ]; then \
+		echo ""; echo "ci: FAILED targets:$$failed"; exit 1; \
+	fi; \
+	echo ""; echo "ci: all targets passed ($(CI_TARGETS))"

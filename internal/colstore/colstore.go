@@ -69,6 +69,18 @@ func (t *Table) Free() {
 // Rows is the table length.
 func (t *Table) Rows() uint64 { return t.rows }
 
+// WithRuntime returns a read-only view of the table whose queries run
+// through rt — typically a scheduler-attached priority view
+// (rts.Runtime.WithPriority) of the runtime the table was built on, so
+// concurrent query handlers can tag their scans without mutating the
+// shared table. The view shares the columns; do not AddColumn, Migrate,
+// or Free through it.
+func (t *Table) WithRuntime(rt *rts.Runtime) *Table {
+	view := *t
+	view.rt = rt
+	return &view
+}
+
 // Columns lists the column names in definition order.
 func (t *Table) Columns() []string {
 	names := make([]string, len(t.columns))

@@ -1,0 +1,174 @@
+// Plan execution: one validated plan against one immutable dataset, run
+// through a priority-tagged runtime view. Everything here is per-query
+// state; the only shared structures touched are the dataset's read-only
+// arrays and the scheduler's admission list.
+package queryd
+
+import (
+	"fmt"
+	"sort"
+
+	"smartarrays/internal/analytics"
+	"smartarrays/internal/core"
+	"smartarrays/internal/queryd/plan"
+	"smartarrays/internal/rts"
+)
+
+// topK bounds the per-vertex detail returned by graph queries; full rank
+// vectors are benchmark output, not a serving payload.
+const topK = 10
+
+// VertexRank is one entry of a PageRank result's top list.
+type VertexRank struct {
+	Vertex uint64  `json:"vertex"`
+	Rank   float64 `json:"rank"`
+}
+
+// GroupResult is one GroupBy output row in wire form.
+type GroupResult struct {
+	Key   uint64 `json:"key"`
+	Value uint64 `json:"value"`
+}
+
+// AggregateResult is the aggregate wire result.
+type AggregateResult struct {
+	Value uint64 `json:"value"`
+}
+
+// GroupByResult is the groupby wire result.
+type GroupByResult struct {
+	Groups []GroupResult `json:"groups"`
+}
+
+// PageRankResult summarizes a PageRank run: iterations actually executed,
+// the rank mass (≈1.0 — a cheap client-side sanity check), and the top-K
+// vertices.
+type PageRankResult struct {
+	Iters   int          `json:"iters"`
+	RankSum float64      `json:"rank_sum"`
+	Top     []VertexRank `json:"top"`
+}
+
+// BFSResult summarizes a BFS run.
+type BFSResult struct {
+	Source  uint64 `json:"source"`
+	Reached uint64 `json:"reached"`
+	Levels  int    `json:"levels"`
+}
+
+// DegreeResult summarizes degree centrality. DegreeSum equals
+// out+in degree summed over all vertices — exactly 2x the edge count,
+// which the load generator's spot check exploits.
+type DegreeResult struct {
+	DegreeSum uint64 `json:"degree_sum"`
+	MaxDegree uint64 `json:"max_degree"`
+}
+
+// execute runs p against ds on the priority view qrt and returns the
+// wire-form result.
+func execute(qrt *rts.Runtime, ds *Dataset, p *plan.Plan) (any, error) {
+	switch p.Op {
+	case plan.OpAggregate, plan.OpGroupBy:
+		if ds.Table == nil {
+			return nil, fmt.Errorf("queryd: dataset %q has no table", ds.Name)
+		}
+		tbl := ds.Table.WithRuntime(qrt)
+		if p.Op == plan.OpAggregate {
+			v, err := tbl.Aggregate(p.Agg, p.Column, p.Preds...)
+			if err != nil {
+				return nil, err
+			}
+			return AggregateResult{Value: v}, nil
+		}
+		rows, err := tbl.GroupBy(p.Key, p.Agg, p.Column, p.Preds...)
+		if err != nil {
+			return nil, err
+		}
+		groups := make([]GroupResult, len(rows))
+		for i, r := range rows {
+			groups[i] = GroupResult{Key: r.Key, Value: r.Value}
+		}
+		return GroupByResult{Groups: groups}, nil
+	case plan.OpPageRank:
+		if ds.Graph == nil {
+			return nil, fmt.Errorf("queryd: dataset %q has no graph", ds.Name)
+		}
+		cfg := analytics.DefaultPageRankConfig()
+		cfg.MaxIters = p.Iters
+		ranks, iters, _, err := analytics.PageRank(qrt, ds.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := PageRankResult{Iters: iters, Top: topRanks(ranks, topK)}
+		for _, r := range ranks {
+			res.RankSum += r
+		}
+		return res, nil
+	case plan.OpBFS:
+		if ds.Graph == nil {
+			return nil, fmt.Errorf("queryd: dataset %q has no graph", ds.Name)
+		}
+		levels, depth, _, err := analytics.BFS(qrt, ds.Graph, p.Source)
+		if err != nil {
+			return nil, err
+		}
+		res := BFSResult{Source: p.Source, Levels: depth}
+		for _, l := range levels {
+			if l >= 0 {
+				res.Reached++
+			}
+		}
+		return res, nil
+	case plan.OpDegree:
+		if ds.Graph == nil {
+			return nil, fmt.Errorf("queryd: dataset %q has no graph", ds.Name)
+		}
+		out, _, err := analytics.DegreeCentrality(qrt, ds.Graph)
+		if err != nil {
+			return nil, err
+		}
+		defer out.Free()
+		n := out.Length()
+		sum := qrt.ReduceSum(0, n, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			return core.ReduceRange(out, w.Socket, lo, hi, core.ReduceSum)
+		})
+		max := qrt.ReduceMax(0, n, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			return core.ReduceRange(out, w.Socket, lo, hi, core.ReduceMax)
+		})
+		return DegreeResult{DegreeSum: sum, MaxDegree: max}, nil
+	default:
+		return nil, fmt.Errorf("queryd: unexecutable op %q", p.Op)
+	}
+}
+
+// topRanks returns the k highest-ranked vertices in rank order.
+func topRanks(ranks []float64, k int) []VertexRank {
+	idx := make([]uint64, len(ranks))
+	for i := range idx {
+		idx[i] = uint64(i)
+	}
+	// Full sort of the index slice is fine at the dataset sizes served.
+	sort.Slice(idx, func(a, b int) bool { return ranks[idx[a]] > ranks[idx[b]] })
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	top := make([]VertexRank, len(idx))
+	for i, v := range idx {
+		top[i] = VertexRank{Vertex: v, Rank: ranks[v]}
+	}
+	return top
+}
+
+// spotCheck verifies a served aggregate against the dataset's build-time
+// column checksums — used by tests; saload does the same over HTTP.
+func spotCheck(ds *Dataset, column string, got uint64) error {
+	for _, c := range ds.Columns {
+		if c.Name == column {
+			if c.Sum != got {
+				return fmt.Errorf("queryd: sum(%s) = %d, build-time checksum %d", column, got, c.Sum)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("queryd: no checksum for column %q", column)
+}

@@ -1,0 +1,470 @@
+// Package loadgen drives a queryd server with a mixed query workload and
+// reports throughput and latency percentiles — the serving-path
+// counterpart of the modeled-figure benchmarks, and the thing the
+// load-smoke CI gate runs.
+//
+// Two arrival models:
+//
+//   - Open loop (Rate > 0): arrivals follow a Poisson process at Rate
+//     queries/sec, independent of completions — the honest overload
+//     model, where a slow server accumulates outstanding requests
+//     instead of silently slowing the generator down. Concurrency caps
+//     the outstanding requests; arrivals past the cap are counted as
+//     dropped, never silently delayed.
+//   - Closed loop (Rate == 0): Concurrency workers issue queries
+//     back-to-back — the classic "N concurrent clients" shape the
+//     EXPERIMENTS table uses.
+//
+// Latencies land in an obs.Histogram (the same log2-bucketed lock-free
+// histogram the server uses), so client- and server-side percentiles are
+// directly comparable.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartarrays/internal/obs"
+	"smartarrays/internal/queryd"
+)
+
+// QuerySpec is one weighted entry of the workload mix.
+type QuerySpec struct {
+	// Name labels the spec in the report ("agg-sum", "pagerank"...).
+	Name string `json:"name"`
+	// Weight is the relative pick frequency.
+	Weight int `json:"weight"`
+	// Body is the /query JSON payload.
+	Body json.RawMessage `json:"body"`
+}
+
+// Options configure one load run.
+type Options struct {
+	// Addr is the server's host:port.
+	Addr string
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Rate selects open-loop Poisson arrivals per second; 0 selects
+	// closed-loop.
+	Rate float64
+	// Concurrency is the closed-loop worker count, or the open-loop
+	// outstanding-request cap.
+	Concurrency int
+	// Mix is the weighted workload; empty uses DefaultMix against the
+	// server's first dataset.
+	Mix []QuerySpec
+	// Seed makes template picks and Poisson gaps reproducible.
+	Seed int64
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+// Report is the machine-readable result (written as JSON by saload and
+// asserted on by the CI gate).
+type Report struct {
+	Addr        string  `json:"addr"`
+	Mode        string  `json:"mode"`
+	DurationSec float64 `json:"duration_sec"`
+	Concurrency int     `json:"concurrency"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+
+	Sent      uint64 `json:"sent"`
+	OK        uint64 `json:"ok"`
+	Rejected  uint64 `json:"rejected_429"`
+	Other4xx  uint64 `json:"other_4xx"`
+	Errors5xx uint64 `json:"errors_5xx"`
+	Transport uint64 `json:"transport_errors"`
+	Dropped   uint64 `json:"dropped_arrivals"`
+
+	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxInFlight int     `json:"max_in_flight_observed"`
+
+	PerOp map[string]uint64 `json:"per_op"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders the human-readable one-screen result.
+func (r *Report) Summary() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "loadgen: %s for %.1fs against %s\n", r.Mode, r.DurationSec, r.Addr)
+	fmt.Fprintf(&b, "  sent %d  ok %d  429 %d  4xx %d  5xx %d  transport %d  dropped %d\n",
+		r.Sent, r.OK, r.Rejected, r.Other4xx, r.Errors5xx, r.Transport, r.Dropped)
+	fmt.Fprintf(&b, "  %.1f queries/sec   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms   max in-flight %d\n",
+		r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxInFlight)
+	for name, n := range r.PerOp {
+		fmt.Fprintf(&b, "  %-12s %d\n", name, n)
+	}
+	return b.String()
+}
+
+// FetchMeta reads the server's dataset catalog.
+func FetchMeta(addr string) ([]queryd.Meta, error) {
+	resp, err := http.Get("http://" + addr + "/datasets")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetching datasets: %w", err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Datasets []queryd.Meta `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding datasets: %w", err)
+	}
+	if len(payload.Datasets) == 0 {
+		return nil, fmt.Errorf("loadgen: server has no datasets")
+	}
+	return payload.Datasets, nil
+}
+
+// q builds a /query body.
+func q(fields map[string]any) json.RawMessage {
+	data, err := json.Marshal(fields)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// DefaultMix builds the standard serving mix for one dataset: mostly
+// cheap predicated aggregates, some group-bys, and an occasional graph
+// kernel — the interleaved multi-tenant shape the adaptivity loop was
+// built for.
+func DefaultMix(m queryd.Meta) []QuerySpec {
+	var mix []QuerySpec
+	if m.Rows > 0 {
+		mix = append(mix,
+			QuerySpec{Name: "agg-sum", Weight: 6, Body: q(map[string]any{
+				"dataset": m.Name, "op": "aggregate", "agg": "sum", "column": "amount",
+				"where": []map[string]any{{"column": "region", "op": "<", "value": 8}},
+			})},
+			QuerySpec{Name: "agg-count", Weight: 4, Body: q(map[string]any{
+				"dataset": m.Name, "op": "aggregate", "agg": "count", "column": "amount",
+				"where": []map[string]any{{"column": "flag", "op": "=", "value": 1}},
+			})},
+			QuerySpec{Name: "agg-max", Weight: 2, Body: q(map[string]any{
+				"dataset": m.Name, "op": "aggregate", "agg": "max", "column": "amount",
+			})},
+			QuerySpec{Name: "groupby", Weight: 3, Body: q(map[string]any{
+				"dataset": m.Name, "op": "groupby", "key": "region", "agg": "sum", "column": "amount",
+				"where": []map[string]any{{"column": "flag", "op": "=", "value": 1}},
+			})},
+		)
+	}
+	if m.Vertices > 0 {
+		mix = append(mix,
+			QuerySpec{Name: "degree", Weight: 2, Body: q(map[string]any{
+				"dataset": m.Name, "op": "degree",
+			})},
+			QuerySpec{Name: "bfs", Weight: 1, Body: q(map[string]any{
+				"dataset": m.Name, "op": "bfs", "source": 0,
+			})},
+			QuerySpec{Name: "pagerank", Weight: 1, Body: q(map[string]any{
+				"dataset": m.Name, "op": "pagerank", "iters": 5, "priority": -1,
+			})},
+		)
+	}
+	return mix
+}
+
+// picker selects mix entries by weight.
+type picker struct {
+	mix    []QuerySpec
+	bounds []int
+	total  int
+}
+
+func newPicker(mix []QuerySpec) (*picker, error) {
+	p := &picker{mix: mix}
+	for _, s := range mix {
+		if s.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: spec %q has non-positive weight", s.Name)
+		}
+		p.total += s.Weight
+		p.bounds = append(p.bounds, p.total)
+	}
+	if p.total == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix")
+	}
+	return p, nil
+}
+
+func (p *picker) pick(rng *rand.Rand) *QuerySpec {
+	n := rng.Intn(p.total)
+	for i, b := range p.bounds {
+		if n < b {
+			return &p.mix[i]
+		}
+	}
+	return &p.mix[len(p.mix)-1]
+}
+
+// Run executes the load run.
+func Run(opts Options) (*Report, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive duration")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	mix := opts.Mix
+	if len(mix) == 0 {
+		metas, err := FetchMeta(opts.Addr)
+		if err != nil {
+			return nil, err
+		}
+		mix = DefaultMix(metas[0])
+	}
+	pk, err := newPicker(mix)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{
+		Timeout: opts.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Concurrency * 2,
+			MaxIdleConnsPerHost: opts.Concurrency * 2,
+		},
+	}
+	url := "http://" + opts.Addr + "/query"
+
+	var (
+		hist      obs.Histogram
+		sent      atomic.Uint64
+		ok        atomic.Uint64
+		rejected  atomic.Uint64
+		other4xx  atomic.Uint64
+		errs5xx   atomic.Uint64
+		transport atomic.Uint64
+		dropped   atomic.Uint64
+		inflight  atomic.Int64
+		maxInFl   atomic.Int64
+		perOpMu   sync.Mutex
+	)
+	perOp := map[string]uint64{}
+
+	issue := func(spec *QuerySpec) {
+		cur := inflight.Add(1)
+		for {
+			prev := maxInFl.Load()
+			if cur <= prev || maxInFl.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		defer inflight.Add(-1)
+
+		sent.Add(1)
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(spec.Body))
+		if err != nil {
+			transport.Add(1)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		hist.ObserveSince(start)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			ok.Add(1)
+			perOpMu.Lock()
+			perOp[spec.Name]++
+			perOpMu.Unlock()
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected.Add(1)
+		case resp.StatusCode >= 500:
+			errs5xx.Add(1)
+		default:
+			other4xx.Add(1)
+		}
+	}
+
+	begin := time.Now()
+	deadline := begin.Add(opts.Duration)
+	var wg sync.WaitGroup
+
+	if opts.Rate > 0 {
+		// Open loop: one goroutine paces Poisson arrivals; each arrival
+		// dispatches unless the outstanding cap is hit.
+		rng := rand.New(rand.NewSource(opts.Seed | 1))
+		for now := time.Now(); now.Before(deadline); now = time.Now() {
+			gap := time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second))
+			time.Sleep(gap)
+			if !time.Now().Before(deadline) {
+				break
+			}
+			if int(inflight.Load()) >= opts.Concurrency {
+				dropped.Add(1)
+				continue
+			}
+			spec := pk.pick(rng)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				issue(spec)
+			}()
+		}
+	} else {
+		// Closed loop: Concurrency workers back-to-back.
+		for c := 0; c < opts.Concurrency; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for time.Now().Before(deadline) {
+					issue(pk.pick(rng))
+				}
+			}(opts.Seed + int64(c) + 1)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	snap := hist.Snapshot()
+	mode := "closed-loop"
+	if opts.Rate > 0 {
+		mode = fmt.Sprintf("open-loop (%.0f/s Poisson)", opts.Rate)
+	}
+	rep := &Report{
+		Addr:        opts.Addr,
+		Mode:        mode,
+		DurationSec: elapsed.Seconds(),
+		Concurrency: opts.Concurrency,
+		RateTarget:  opts.Rate,
+		Sent:        sent.Load(),
+		OK:          ok.Load(),
+		Rejected:    rejected.Load(),
+		Other4xx:    other4xx.Load(),
+		Errors5xx:   errs5xx.Load(),
+		Transport:   transport.Load(),
+		Dropped:     dropped.Load(),
+		QPS:         float64(ok.Load()) / elapsed.Seconds(),
+		MaxInFlight: int(maxInFl.Load()),
+		PerOp:       perOp,
+	}
+	if snap.Count > 0 {
+		rep.P50MS = snap.Quantile(0.50) / 1e6
+		rep.P95MS = snap.Quantile(0.95) / 1e6
+		rep.P99MS = snap.Quantile(0.99) / 1e6
+	}
+	if math.IsNaN(rep.QPS) || math.IsInf(rep.QPS, 0) {
+		rep.QPS = 0
+	}
+	return rep, nil
+}
+
+// SpotCheck issues deterministic queries and verifies them against the
+// dataset's build-time invariants: sum(column) matches the catalog
+// checksum, unpredicated count matches the row count, and the degree sum
+// equals twice the edge count. Retries once per query on 429 — the spot
+// check may run while load is saturating admission.
+func SpotCheck(addr string) error {
+	metas, err := FetchMeta(addr)
+	if err != nil {
+		return err
+	}
+	m := metas[0]
+	post := func(body json.RawMessage) (map[string]json.RawMessage, error) {
+		for attempt := 0; ; attempt++ {
+			resp, err := http.Post("http://"+addr+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode == http.StatusTooManyRequests && attempt < 20 {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("loadgen: spot check got %d: %s", resp.StatusCode, data)
+			}
+			var env struct {
+				Result map[string]json.RawMessage `json:"result"`
+			}
+			if err := json.Unmarshal(data, &env); err != nil {
+				return nil, err
+			}
+			return env.Result, nil
+		}
+	}
+	asUint := func(res map[string]json.RawMessage, field string) (uint64, error) {
+		raw, okf := res[field]
+		if !okf {
+			return 0, fmt.Errorf("loadgen: result missing %q", field)
+		}
+		var v uint64
+		err := json.Unmarshal(raw, &v)
+		return v, err
+	}
+
+	if m.Rows > 0 {
+		for _, col := range m.Columns {
+			res, err := post(q(map[string]any{
+				"dataset": m.Name, "op": "aggregate", "agg": "sum", "column": col.Name,
+			}))
+			if err != nil {
+				return err
+			}
+			got, err := asUint(res, "value")
+			if err != nil {
+				return err
+			}
+			if got != col.Sum {
+				return fmt.Errorf("loadgen: sum(%s) = %d, catalog checksum %d", col.Name, got, col.Sum)
+			}
+		}
+		res, err := post(q(map[string]any{
+			"dataset": m.Name, "op": "aggregate", "agg": "count", "column": "amount",
+		}))
+		if err != nil {
+			return err
+		}
+		got, err := asUint(res, "value")
+		if err != nil {
+			return err
+		}
+		if got != m.Rows {
+			return fmt.Errorf("loadgen: count = %d, catalog rows %d", got, m.Rows)
+		}
+	}
+	if m.Vertices > 0 {
+		res, err := post(q(map[string]any{"dataset": m.Name, "op": "degree"}))
+		if err != nil {
+			return err
+		}
+		got, err := asUint(res, "degree_sum")
+		if err != nil {
+			return err
+		}
+		if got != 2*m.Edges {
+			return fmt.Errorf("loadgen: degree sum = %d, want 2x%d edges", got, m.Edges)
+		}
+	}
+	return nil
+}

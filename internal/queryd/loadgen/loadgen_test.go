@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
+	"smartarrays/internal/queryd"
+	"smartarrays/internal/rts"
+)
+
+func TestPickerRespectsWeights(t *testing.T) {
+	mix := []QuerySpec{
+		{Name: "a", Weight: 9, Body: []byte(`{}`)},
+		{Name: "b", Weight: 1, Body: []byte(`{}`)},
+	}
+	pk, err := newPicker(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pk.pick(rng).Name]++
+	}
+	if counts["a"] < 8500 || counts["b"] < 500 {
+		t.Fatalf("picks = %v, want ~9:1", counts)
+	}
+	if _, err := newPicker(nil); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := newPicker([]QuerySpec{{Name: "x", Weight: 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestDefaultMixShape(t *testing.T) {
+	both := DefaultMix(queryd.Meta{Name: "d", Rows: 10, Vertices: 10})
+	tableOnly := DefaultMix(queryd.Meta{Name: "d", Rows: 10})
+	graphOnly := DefaultMix(queryd.Meta{Name: "d", Vertices: 10})
+	if len(both) != len(tableOnly)+len(graphOnly) {
+		t.Fatalf("mix sizes: both %d, table %d, graph %d", len(both), len(tableOnly), len(graphOnly))
+	}
+	if len(tableOnly) == 0 || len(graphOnly) == 0 {
+		t.Fatal("empty sub-mixes")
+	}
+	for _, s := range both {
+		if s.Weight <= 0 || len(s.Body) == 0 {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+}
+
+// TestRunAgainstLiveServer runs the full generator (closed loop, then a
+// short open-loop burst) and the spot check against a real server.
+func TestRunAgainstLiveServer(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	rt := rts.New(machine.UMA(4))
+	rt.SetRecorder(rec)
+	srv, err := queryd.NewServer(rt, queryd.DefaultConfig(), []queryd.DatasetSpec{
+		{Name: "demo", Rows: 10000, Vertices: 1000, Seed: 3},
+	}, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	if err := SpotCheck(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(Options{Addr: addr, Duration: 400 * time.Millisecond, Concurrency: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.QPS <= 0 {
+		t.Fatalf("closed loop served nothing: %+v", rep)
+	}
+	if rep.Errors5xx != 0 || rep.Transport != 0 {
+		t.Fatalf("closed loop errors: %+v", rep)
+	}
+	if rep.P99MS < rep.P50MS || rep.P50MS <= 0 {
+		t.Fatalf("quantiles inverted: %+v", rep)
+	}
+	if rep.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+
+	open, err := Run(Options{Addr: addr, Duration: 300 * time.Millisecond, Rate: 200, Concurrency: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Sent == 0 {
+		t.Fatalf("open loop sent nothing: %+v", open)
+	}
+
+	report := t.TempDir() + "/report.json"
+	if err := rep.WriteFile(report); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package queryd is the query-service data plane: a stdlib HTTP+JSON
+// front end that serves colstore aggregations and graph kernels
+// concurrently over one smart-array runtime.
+//
+// Architecture (the control-plane/data-plane split):
+//
+//   - Data plane: POST /query parses a plan, passes admission control,
+//     and executes on a priority-tagged runtime view. Concurrency comes
+//     from the rts.Scheduler — every in-flight query's loops are
+//     multiplexed onto the shared worker pool at batch granularity, so a
+//     cheap high-priority aggregate overtakes a long PageRank instead of
+//     queueing behind it. The hot path takes no lock: configuration and
+//     the dataset catalog are read through one atomic snapshot pointer.
+//   - Control plane: GET/POST /control/config reads and replaces the
+//     admission/quota configuration (and can materialize new datasets);
+//     changes build a fresh immutable snapshot offline and swap it in
+//     atomically. The obs/serve introspection endpoints (/metrics,
+//     /arrays, /trace, /decisions) mount on the same server.
+//
+// Endpoints:
+//
+//	POST /query           run one query (JSON body, see internal/queryd/plan)
+//	GET  /healthz         liveness
+//	GET  /datasets        dataset catalog with column checksums
+//	GET  /stats           admission + latency statistics (JSON)
+//	GET  /control/config  current admission/quota config
+//	POST /control/config  swap config (and optionally add datasets)
+//	GET  /metrics ...     obs/serve introspection (same mux)
+package queryd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartarrays/internal/obs"
+	"smartarrays/internal/obs/serve"
+	"smartarrays/internal/queryd/plan"
+	"smartarrays/internal/rts"
+)
+
+// QueryHistogram is the recorder histogram receiving one end-to-end
+// observation per served query (admission wait included); per-op
+// histograms are named QueryHistogram + "." + op.
+const QueryHistogram = "queryd.query"
+
+// Server is the query service. Create with NewServer, then Start (or
+// mount Handler under a test server).
+type Server struct {
+	rt    *rts.Runtime
+	sched *rts.Scheduler
+	rec   *obs.Recorder
+	reg   *obs.ArrayRegistry
+
+	// snap is the immutable config+catalog snapshot; the data plane loads
+	// it exactly once per request.
+	snap atomic.Pointer[snapshot]
+	// ctlMu serializes control-plane writers (snapshot swaps); readers
+	// never take it.
+	ctlMu sync.Mutex
+
+	adm *admission
+
+	// served counts successfully executed queries; errs5xx counts
+	// internal failures (the load gate requires this to stay zero).
+	served  atomic.Uint64
+	errs4xx atomic.Uint64
+	errs5xx atomic.Uint64
+}
+
+// NewServer builds a server over rt. It attaches a scheduler to rt
+// (taking ownership of loop execution — do not run exclusive-mode
+// benchmarks on the same runtime afterwards), and registers the initial
+// datasets. rec and reg may be nil to serve without telemetry.
+func NewServer(rt *rts.Runtime, cfg Config, specs []DatasetSpec, rec *obs.Recorder, reg *obs.ArrayRegistry) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{rt: rt, rec: rec, reg: reg, adm: newAdmission()}
+
+	// Datasets are built before the scheduler attaches: initialization
+	// wants the exclusive loop engine's first-touch determinism.
+	datasets := make(map[string]*Dataset, len(specs))
+	for _, spec := range specs {
+		if _, dup := datasets[spec.Name]; dup {
+			return nil, fmt.Errorf("queryd: duplicate dataset %q", spec.Name)
+		}
+		d, err := BuildDataset(rt, spec)
+		if err != nil {
+			return nil, err
+		}
+		datasets[spec.Name] = d
+	}
+	snap := &snapshot{cfg: cfg, datasets: datasets}
+	s.snap.Store(snap)
+
+	s.sched = rts.NewScheduler(rt)
+	rt.SetScheduler(s.sched)
+	return s, nil
+}
+
+// Close shuts the scheduler down. The HTTP listener must be closed first
+// (Start's stop function does both, in order).
+func (s *Server) Close() {
+	s.sched.Close()
+}
+
+// Runtime returns the serving runtime (tests use it for direct-call
+// comparisons; its loops go through the scheduler too, so calls are safe
+// while serving).
+func (s *Server) Runtime() *rts.Runtime { return s.rt }
+
+// Dataset resolves a dataset from the current snapshot.
+func (s *Server) Dataset(name string) (*Dataset, error) {
+	return s.snap.Load().dataset(name)
+}
+
+// Config returns the current admission configuration.
+func (s *Server) Config() Config {
+	return s.snap.Load().cfg
+}
+
+// SwapConfig validates and atomically installs a new configuration,
+// keeping the existing dataset catalog, then kicks the admission queue so
+// raised limits take effect immediately.
+func (s *Server) SwapConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.ctlMu.Lock()
+	old := s.snap.Load()
+	s.snap.Store(&snapshot{cfg: cfg, datasets: old.datasets})
+	s.ctlMu.Unlock()
+	s.adm.Kick(cfg)
+	return nil
+}
+
+// AddDataset materializes spec and installs it in a fresh snapshot. The
+// build runs through the scheduler like any other work, so serving
+// continues meanwhile; the new dataset becomes visible atomically.
+func (s *Server) AddDataset(spec DatasetSpec) error {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if _, exists := s.snap.Load().datasets[spec.Name]; exists {
+		return fmt.Errorf("queryd: dataset %q already exists", spec.Name)
+	}
+	d, err := BuildDataset(s.rt, spec)
+	if err != nil {
+		return err
+	}
+	old := s.snap.Load()
+	datasets := make(map[string]*Dataset, len(old.datasets)+1)
+	for k, v := range old.datasets {
+		datasets[k] = v
+	}
+	datasets[spec.Name] = d
+	s.snap.Store(&snapshot{cfg: old.cfg, datasets: datasets})
+	return nil
+}
+
+// Handler returns the full mux: data plane, control plane, and the
+// obs/serve introspection endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/control/config", s.handleConfig)
+	if s.rec != nil {
+		intro := serve.New(s.rec, s.reg).Handler()
+		for _, path := range []string{"/metrics", "/arrays", "/trace", "/decisions"} {
+			mux.Handle(path, intro)
+		}
+	}
+	return mux
+}
+
+// Start binds addr (":0" picks a free port), serves in the background,
+// and returns the bound address plus a stop function that closes the
+// listener and then the scheduler.
+func (s *Server) Start(addr string) (string, func() error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("queryd: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(l) }()
+	stop := func() error {
+		err := srv.Close()
+		s.Close()
+		return err
+	}
+	return l.Addr().String(), stop, nil
+}
+
+// queryResponse is the /query wire envelope.
+type queryResponse struct {
+	Op       string  `json:"op"`
+	Dataset  string  `json:"dataset"`
+	Result   any     `json:"result"`
+	WallMS   float64 `json:"wall_ms"`
+	Priority int     `json:"priority"`
+}
+
+// errorResponse is the error wire envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxQueryBody bounds request bodies; plans are small.
+const maxQueryBody = 1 << 20
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("queryd: POST a query JSON body"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := plan.Parse(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// One snapshot load; the rest of the request sees a consistent
+	// config+catalog no matter how many swaps land meanwhile.
+	snap := s.snap.Load()
+	ds, err := snap.dataset(p.Dataset)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+
+	start := time.Now()
+	if err := s.adm.Acquire(snap.cfg, p.Tenant, p.DeadlineMS); err != nil {
+		s.reject(w, snap.cfg, err)
+		return
+	}
+	defer s.adm.ReleaseTenant(p.Tenant)
+	// Release reads the *latest* config so a raised limit drains the
+	// queue at the new width.
+	defer func() { s.adm.Release(s.snap.Load().cfg) }()
+
+	qrt := s.rt.WithPriority(snap.cfg.clampPriority(p.Priority))
+	result, err := execute(qrt, ds, p)
+	if err != nil {
+		// Post-admission failures are server-side: the plan validated but
+		// execution rejected it (e.g. unknown column) — report 422 for
+		// plan-shaped issues, which keeps the "zero 5xx" load gate
+		// meaningful for real internal failures.
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	wall := time.Since(start)
+	if s.rec != nil {
+		s.rec.Histogram(QueryHistogram).Observe(uint64(wall.Nanoseconds()))
+		s.rec.Histogram(QueryHistogram + "." + string(p.Op)).Observe(uint64(wall.Nanoseconds()))
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, queryResponse{
+		Op:       string(p.Op),
+		Dataset:  p.Dataset,
+		Result:   result,
+		WallMS:   float64(wall.Nanoseconds()) / 1e6,
+		Priority: qrt.Priority(),
+	})
+}
+
+// reject maps admission errors onto 429 with a Retry-After hint.
+func (s *Server) reject(w http.ResponseWriter, cfg Config, err error) {
+	s.errs4xx.Add(1)
+	// Both shed and expired queries should back off about one queue
+	// drain; the timeout is the honest upper bound.
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", (cfg.QueueTimeoutMS+999)/1000))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.errs5xx.Add(1)
+	} else {
+		s.errs4xx.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snap.Load()
+	metas := make([]Meta, 0, len(snap.datasets))
+	for _, d := range snap.datasets {
+		metas = append(metas, d.Meta())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": metas})
+}
+
+// statsResponse is the /stats wire form: admission counters plus the
+// served-query latency quantiles from the obs histogram.
+type statsResponse struct {
+	Admission AdmissionStats    `json:"admission"`
+	Served    uint64            `json:"served"`
+	Errors4xx uint64            `json:"errors_4xx"`
+	Errors5xx uint64            `json:"errors_5xx"`
+	LatencyMS *latencyQuantiles `json:"latency_ms,omitempty"`
+}
+
+type latencyQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		Admission: s.adm.Stats(),
+		Served:    s.served.Load(),
+		Errors4xx: s.errs4xx.Load(),
+		Errors5xx: s.errs5xx.Load(),
+	}
+	if s.rec != nil {
+		snap := s.rec.Histogram(QueryHistogram).Snapshot()
+		if snap.Count > 0 {
+			resp.LatencyMS = &latencyQuantiles{
+				Count: snap.Count,
+				P50:   snap.Quantile(0.50) / 1e6,
+				P95:   snap.Quantile(0.95) / 1e6,
+				P99:   snap.Quantile(0.99) / 1e6,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// controlRequest is the POST /control/config wire form: a full new config
+// (partial updates are a footgun with atomic swaps) plus datasets to add.
+type controlRequest struct {
+	Config   *Config       `json:"config"`
+	Datasets []DatasetSpec `json:"datasets"`
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Config())
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		var req controlRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Config != nil {
+			if err := s.SwapConfig(*req.Config); err != nil {
+				s.fail(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		for _, spec := range req.Datasets {
+			if err := s.AddDataset(spec); err != nil {
+				s.fail(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, s.Config())
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("queryd: GET or POST"))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -73,6 +73,14 @@ type Runtime struct {
 	// the loop barrier folds them into the registry — once per loop, like
 	// the claim counters.
 	areg *obs.ArrayRegistry
+	// sched, when set, takes over loop execution: every loop is submitted
+	// to the shared scheduler instead of spawning per-loop goroutines, so
+	// many callers can run loops concurrently over the same worker pool.
+	// See Scheduler.
+	sched *Scheduler
+	// prio is the priority scheduled loops submitted through this view
+	// run at (see WithPriority). Unused without a scheduler.
+	prio int
 }
 
 // New creates a runtime for the given machine with one worker per hardware
@@ -163,6 +171,36 @@ func (r *Runtime) FoldArrayProfiles() {
 	}
 }
 
+// SetScheduler attaches (or, with nil, detaches) a shared loop scheduler:
+// every subsequent loop on this runtime — ParallelFor, the Reduce*
+// wrappers, ParallelForBounds, SequentialFor — is submitted to it rather
+// than run with per-loop goroutines, which makes concurrent loop
+// submission from many goroutines safe (the scheduler's executor
+// goroutines keep worker shards owner-only). Must not be called while any
+// loop is running. The scheduler claims batches from a single global
+// cursor, so the per-socket counter attribution determinism of the
+// benchmark path does not hold in scheduled mode.
+func (r *Runtime) SetScheduler(s *Scheduler) { r.sched = s }
+
+// Scheduler returns the attached scheduler (nil when loops run exclusive).
+func (r *Runtime) Scheduler() *Scheduler { return r.sched }
+
+// WithPriority returns a read-only view of the runtime whose scheduled
+// loops run at priority p (higher runs sooner; DefaultPriority otherwise).
+// The view shares the workers, memory, counters, recorder, and scheduler
+// of its parent — it exists so concurrent query handlers can tag the loops
+// of one query without mutating the shared runtime. Set* calls on a view
+// do not propagate and must not be used; create views only after the base
+// runtime is fully configured.
+func (r *Runtime) WithPriority(p int) *Runtime {
+	view := *r
+	view.prio = p
+	return &view
+}
+
+// Priority reports the loop priority this runtime view submits at.
+func (r *Runtime) Priority() int { return r.prio }
+
 // SetStealing enables or disables Callisto's cross-socket work stealing: a
 // worker whose socket stripe drains starts claiming batches from the
 // stripe with the most remaining work. Stealing defaults off because the
@@ -248,6 +286,13 @@ func (sh *loopShape) batch(b uint64) (lo, hi uint64) {
 // per-socket claim stripes, optional cross-socket stealing, and one
 // LoopStats event per execution.
 func (r *Runtime) runLoop(sh loopShape, body func(w *Worker, lo, hi uint64)) {
+	if r.sched != nil {
+		// Scheduled mode: hand the whole loop (including the single-batch
+		// case — running it inline here would touch a worker shard the
+		// scheduler's executor goroutine owns) to the shared scheduler.
+		r.sched.run(r, sh, body)
+		return
+	}
 	sockets := uint64(r.spec.Sockets)
 	var start time.Time
 	if r.rec != nil {
@@ -440,9 +485,19 @@ func (r *Runtime) SequentialFor(thread int, begin, end uint64, body func(w *Work
 	if thread < 0 || thread >= len(r.workers) {
 		panic(fmt.Sprintf("rts: thread %d out of range", thread))
 	}
-	if begin < end {
-		body(r.workers[thread], begin, end)
+	if begin >= end {
+		return
 	}
+	if r.sched != nil {
+		// Under a scheduler the caller may not touch worker shards
+		// directly; submit as one batch. The thread pin becomes advisory
+		// (any executor may run it), which is fine for serving — the pin
+		// only matters for the benchmark harness's first-touch
+		// determinism, and that path never attaches a scheduler.
+		r.sched.run(r, loopShape{begin: begin, end: end, grain: end - begin, numBatches: 1}, body)
+		return
+	}
+	body(r.workers[thread], begin, end)
 }
 
 // paddedUint64 is a cache-line-sized accumulator slot: per-worker partials

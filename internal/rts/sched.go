@@ -1,0 +1,221 @@
+// Scheduler multiplexes many in-flight parallel loops onto one Runtime's
+// worker pool — the serving-mode replacement for the one-loop-at-a-time
+// exclusivity the benchmark harness runs under.
+//
+// The design keeps the two invariants the rest of the repo is built on:
+//
+//   - Worker shards stay owner-only. The scheduler owns one persistent
+//     goroutine per Worker; every batch of every loop that worker executes
+//     runs on that goroutine, so counters.Shard writes never gain a second
+//     writer no matter how many queries are in flight.
+//   - The data-plane hot path never takes a lock. The set of active loops
+//     is an immutable slice behind an atomic pointer (copy-on-write on
+//     admission/retirement, which is control-plane work); workers pick the
+//     next batch with an atomic load + scan + atomic cursor increment. The
+//     scheduler mutex is touched only to park idle workers and to swap the
+//     active-set pointer.
+//
+// Preemption is at batch granularity: a worker re-picks the
+// highest-priority runnable loop before every claim, so a long
+// low-priority scan yields the pool to a newly arrived high-priority
+// query within one batch (~DefaultGrain iterations), not at the end of
+// the scan. Within a priority, loops are served in admission order, which
+// approximates FIFO completion while still letting every worker
+// contribute to the oldest loop first.
+package rts
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartarrays/internal/obs"
+)
+
+// DefaultPriority is the priority loops run at when the submitting
+// Runtime view carries none. Higher values run sooner.
+const DefaultPriority = 0
+
+// schedLoop is one admitted parallel loop: its shape, body, and claim
+// state. Batches are claimed from a single global cursor (not per-socket
+// stripes): under concurrent serving the deterministic socket attribution
+// the benchmark harness wants is meaningless, and a single cursor lets
+// whichever workers are free make progress.
+type schedLoop struct {
+	shape loopShape
+	body  func(w *Worker, lo, hi uint64)
+	prio  int
+
+	// cursor is the next unclaimed batch; done counts completed ones. The
+	// loop is finished when done reaches shape.numBatches; the finishing
+	// worker closes finished. Go's sequentially consistent atomics make
+	// every worker's plain claims[w.ID] writes (owner-only slots) visible
+	// to the submitter that observes the close.
+	cursor   atomic.Uint64
+	done     atomic.Uint64
+	finished chan struct{}
+
+	// claims[i] counts batches worker i executed, allocated only when the
+	// submitting runtime records loop stats.
+	claims []uint64
+}
+
+// exhausted reports whether every batch has been claimed (not necessarily
+// completed).
+func (l *schedLoop) exhausted() bool {
+	return l.cursor.Load() >= l.shape.numBatches
+}
+
+// Scheduler runs loops from many goroutines concurrently over one worker
+// pool. Create with NewScheduler, attach with Runtime.SetScheduler, stop
+// with Close.
+type Scheduler struct {
+	rt *Runtime
+
+	// active is the immutable snapshot of admitted, unfinished loops in
+	// admission order. Workers only load it; run swaps it copy-on-write
+	// under mu.
+	active atomic.Pointer[[]*schedLoop]
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler creates a scheduler over rt's workers and starts one
+// executor goroutine per worker. The goroutines park when no loop has
+// unclaimed batches, so an idle scheduler costs nothing. Callers almost
+// always want rt.SetScheduler(s) immediately after, which routes every
+// ParallelFor/Reduce*/SequentialFor on rt (and its WithPriority views)
+// through s.
+func NewScheduler(rt *Runtime) *Scheduler {
+	s := &Scheduler{rt: rt}
+	s.cond = sync.NewCond(&s.mu)
+	empty := make([]*schedLoop, 0)
+	s.active.Store(&empty)
+	for _, w := range rt.workers {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	return s
+}
+
+// Close stops the executor goroutines after the in-flight batch claims
+// drain. Loops still waiting for batches will stall forever; callers must
+// stop submitting (and drain submitters) first — the query service closes
+// its admission gate before closing the scheduler.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// pick returns the highest-priority loop with unclaimed batches, or nil.
+// Ties go to the earliest-admitted loop. Lock-free: one atomic pointer
+// load plus a scan of the (typically tiny) active set.
+func (s *Scheduler) pick() *schedLoop {
+	var best *schedLoop
+	for _, l := range *s.active.Load() {
+		if l.exhausted() {
+			continue
+		}
+		if best == nil || l.prio > best.prio {
+			best = l
+		}
+	}
+	return best
+}
+
+// worker is one executor goroutine: claim the next batch of the best
+// runnable loop, run it, repeat; park when nothing is runnable.
+func (s *Scheduler) worker(w *Worker) {
+	defer s.wg.Done()
+	for {
+		l := s.pick()
+		if l == nil {
+			// Nothing runnable: fold this worker's pending per-array
+			// telemetry (owner-only, so only the worker itself may do it —
+			// the loop-barrier fold runLoop uses is unavailable while other
+			// loops keep the shards hot) and park until a submit wakes us.
+			if reg := s.rt.areg; reg != nil {
+				reg.FoldShard(w.Counters)
+			}
+			s.mu.Lock()
+			for !s.closed && s.pick() == nil {
+				s.cond.Wait()
+			}
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		k := l.cursor.Add(1) - 1
+		if k >= l.shape.numBatches {
+			continue // lost the race to the last batch; re-pick
+		}
+		lo, hi := l.shape.batch(k)
+		l.body(w, lo, hi)
+		if l.claims != nil {
+			l.claims[w.ID]++
+		}
+		if l.done.Add(1) == l.shape.numBatches {
+			// Last batch done: fold our own shard so short-query telemetry
+			// surfaces promptly even on a busy pool, then signal the
+			// submitter.
+			if reg := s.rt.areg; reg != nil {
+				reg.FoldShard(w.Counters)
+			}
+			close(l.finished)
+		}
+	}
+}
+
+// run executes one loop to completion on behalf of the submitting runtime
+// view r (which carries the priority and the recorder). It blocks the
+// calling goroutine — the query handler — until every batch has run,
+// exactly like runLoop does, so callers such as ReduceSum need no changes.
+func (s *Scheduler) run(r *Runtime, sh loopShape, body func(w *Worker, lo, hi uint64)) {
+	l := &schedLoop{shape: sh, body: body, prio: r.prio, finished: make(chan struct{})}
+	var start time.Time
+	if r.rec != nil {
+		l.claims = make([]uint64, len(s.rt.workers))
+		start = time.Now()
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("rts: loop submitted to a closed scheduler")
+	}
+	cur := *s.active.Load()
+	next := make([]*schedLoop, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, l)
+	s.active.Store(&next)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	<-l.finished
+
+	// Retire: copy-on-write removal keeps pick()'s scan short.
+	s.mu.Lock()
+	cur = *s.active.Load()
+	rest := make([]*schedLoop, 0, len(cur)-1)
+	for _, o := range cur {
+		if o != l {
+			rest = append(rest, o)
+		}
+	}
+	s.active.Store(&rest)
+	s.mu.Unlock()
+
+	if r.rec != nil {
+		r.rec.Histogram(LoopHistogram).ObserveSince(start)
+		r.rec.RecordLoop(obs.NewLoopStats(sh.begin, sh.end, sh.grain, l.claims, nil, s.rt.workerSockets()))
+	}
+}

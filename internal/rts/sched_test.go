@@ -1,0 +1,198 @@
+package rts
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartarrays/internal/machine"
+)
+
+// newSchedRuntime returns a runtime with an attached scheduler and a
+// cleanup that closes it.
+func newSchedRuntime(t *testing.T, spec *machine.Spec) *Runtime {
+	t.Helper()
+	rt := New(spec)
+	s := NewScheduler(rt)
+	rt.SetScheduler(s)
+	t.Cleanup(s.Close)
+	return rt
+}
+
+// TestSchedulerMatchesExclusive pins scheduled loop results against the
+// exclusive (per-loop goroutine) engine for the reduce wrappers and for
+// full range coverage.
+func TestSchedulerMatchesExclusive(t *testing.T) {
+	const n = 100_003
+	excl := New(machine.X52Small())
+	sched := newSchedRuntime(t, machine.X52Small())
+
+	sum := func(rt *Runtime) uint64 {
+		return rt.ReduceSum(0, n, 1024, func(w *Worker, lo, hi uint64) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += i * i
+			}
+			return s
+		})
+	}
+	if got, want := sum(sched), sum(excl); got != want {
+		t.Fatalf("scheduled ReduceSum = %d, exclusive = %d", got, want)
+	}
+
+	// Every index covered exactly once, including the ragged tail and the
+	// single-batch path.
+	for _, total := range []uint64{1, 5, DefaultGrain, DefaultGrain + 1, 3*DefaultGrain + 17} {
+		seen := make([]atomic.Uint32, total)
+		sched.ParallelFor(0, total, 0, func(w *Worker, lo, hi uint64) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("total=%d: index %d covered %d times", total, i, c)
+			}
+		}
+	}
+
+	// SequentialFor under a scheduler still covers its range once.
+	var hits atomic.Uint64
+	sched.SequentialFor(0, 10, 20, func(w *Worker, lo, hi uint64) {
+		hits.Add(hi - lo)
+	})
+	if hits.Load() != 10 {
+		t.Fatalf("scheduled SequentialFor covered %d of 10", hits.Load())
+	}
+}
+
+// TestSchedulerConcurrentLoops drives many goroutines through the same
+// scheduler at once (the serving shape) and checks every loop's reduction.
+// Run with -race this also polices the owner-only worker-shard invariant
+// the scheduler exists to preserve.
+func TestSchedulerConcurrentLoops(t *testing.T) {
+	rt := newSchedRuntime(t, machine.X52Small())
+	const (
+		clients = 12
+		loops   = 8
+		n       = 40_000
+	)
+	want := uint64(n) * uint64(n-1) / 2
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(prio int) {
+			defer wg.Done()
+			view := rt.WithPriority(prio)
+			for i := 0; i < loops; i++ {
+				got := view.ReduceSum(0, n, 512, func(w *Worker, lo, hi uint64) uint64 {
+					var s uint64
+					for j := lo; j < hi; j++ {
+						s += j
+					}
+					return s
+				})
+				if got != want {
+					errs <- "bad sum"
+					return
+				}
+			}
+		}(c % 3)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestSchedulerPriorityPreemption checks batch-granular preemption: with
+// all but one executor wedged inside low-priority batches, the free
+// executor must switch to a newly submitted high-priority loop before
+// touching the low loop's remaining batches. The batch start order is
+// logged: no low-priority batch may start between the first and last
+// high-priority batch, and some low-priority work must still run after
+// the high loop (proving it was pending, not already drained).
+func TestSchedulerPriorityPreemption(t *testing.T) {
+	rt := newSchedRuntime(t, machine.UMA(4))
+	workers := len(rt.Workers())
+
+	gate := make(chan struct{})                   // holds the wedged executors
+	wedgeTokens := make(chan struct{}, workers-1) // how many batches wedge
+	wedged := make(chan struct{}, workers-1)      // signals each wedge
+	for i := 0; i < workers-1; i++ {
+		wedgeTokens <- struct{}{}
+	}
+
+	var mu sync.Mutex
+	var order []byte
+	logStart := func(kind byte) {
+		mu.Lock()
+		order = append(order, kind)
+		mu.Unlock()
+	}
+
+	low := rt.WithPriority(0)
+	high := rt.WithPriority(10)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		low.ParallelFor(0, uint64(workers*8), 1, func(w *Worker, lo, hi uint64) {
+			select {
+			case <-wedgeTokens:
+				logStart('L')
+				wedged <- struct{}{}
+				<-gate
+			default:
+				logStart('l')
+				// Slow the free executor down so low batches are still
+				// pending when the high loop arrives.
+				time.Sleep(200 * time.Microsecond)
+			}
+		})
+	}()
+
+	for i := 0; i < workers-1; i++ {
+		<-wedged
+	}
+	// One executor is still free; submit the high-priority loop and let it
+	// race the free executor's remaining low batches.
+	high.ParallelFor(0, uint64(workers*4), 1, func(w *Worker, lo, hi uint64) {
+		logStart('H')
+	})
+	close(gate)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	first, last := -1, -1
+	for i, k := range order {
+		if k == 'H' {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		t.Fatalf("no high-priority batches ran; order %q", order)
+	}
+	for i := first; i <= last; i++ {
+		if order[i] != 'H' {
+			t.Fatalf("low-priority batch started during the high-priority loop: order %q", order)
+		}
+	}
+	lowAfter := 0
+	for _, k := range order[last+1:] {
+		if k == 'l' {
+			lowAfter++
+		}
+	}
+	if lowAfter == 0 {
+		t.Fatalf("no low-priority batches were pending behind the high loop (test vacuous): order %q", order)
+	}
+}

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Load-harness smoke gate: build saserve and saload, start the server on
+# an ephemeral port with a small dataset, spot-check served results
+# against the dataset checksums, then drive it with 8 concurrent clients
+# for 2 seconds. Fails on any 5xx, zero throughput, or a p99 above a
+# deliberately generous bound (this is a correctness/liveness gate, not a
+# perf gate — the bench gate owns performance).
+#
+# Usage: scripts/load_smoke.sh [duration] [concurrency]
+# Called by `make load-smoke`, locally and in CI.
+set -eu
+
+DURATION="${1:-2s}"
+CONCURRENCY="${2:-8}"
+MAX_P99_MS="${LOAD_SMOKE_MAX_P99_MS:-10000}"
+ROWS="${LOAD_SMOKE_ROWS:-200000}"
+VERTICES="${LOAD_SMOKE_VERTICES:-5000}"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building saserve and saload"
+go build -o "$WORK/saserve" ./cmd/saserve
+go build -o "$WORK/saload" ./cmd/saload
+
+"$WORK/saserve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -rows "$ROWS" -vertices "$VERTICES" 2>"$WORK/saserve.log" &
+SERVER_PID=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: server never came up" >&2
+        cat "$WORK/saserve.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "load-smoke: server exited during startup" >&2
+        cat "$WORK/saserve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$WORK/addr")"
+echo "load-smoke: server on $ADDR (pid $SERVER_PID)"
+
+# Spot check + load + gates: zero 5xx, non-zero qps, generous p99 bound.
+# The report asserts at least 2 concurrent in-flight queries were
+# observed — the whole point of the scheduler.
+"$WORK/saload" -addr "$ADDR" -duration "$DURATION" -concurrency "$CONCURRENCY" \
+    -spot-check -report saload_report.json \
+    -max-5xx 0 -min-qps 1 -max-p99-ms "$MAX_P99_MS"
+
+MAX_INFLIGHT="$(sed -n 's/.*"max_in_flight_observed": \([0-9]*\).*/\1/p' saload_report.json)"
+if [ -z "$MAX_INFLIGHT" ] || [ "$MAX_INFLIGHT" -lt 2 ]; then
+    echo "load-smoke: FAILED: max in-flight observed was ${MAX_INFLIGHT:-0}, want >= 2 concurrent queries" >&2
+    exit 1
+fi
+
+echo "load-smoke: PASSED (report in saload_report.json)"
