@@ -9,6 +9,11 @@
 // §6 decision re-scored against live per-array telemetry until the access
 // pattern flips it, emitting DecisionDrift audit events.
 //
+// With -reencode it runs the representation-drift demonstration: a
+// clustered column migrates bit-packed -> RLE under fused scans, then
+// back to uncompressed once random gathers dominate the measured mix,
+// emitting Reencode audit events.
+//
 // Observability: -trace writes one structured decision event per
 // adaptivity step (candidate set, profiled counter inputs, chosen
 // configuration, estimated vs realized cost) as JSONL; -metrics-out
@@ -36,6 +41,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "print Table 2 (trade-offs) and exit")
 	multi := flag.Bool("multi", false, "demonstrate multi-array joint placement (PageRank array set)")
 	live := flag.Bool("live", false, "demonstrate live re-scoring: a drifting workload flips its §6 decision mid-run")
+	reencode := flag.Bool("reencode", false, "demonstrate live re-encoding: a drifting access mix migrates an array between codecs mid-run")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -62,6 +68,9 @@ func main() {
 	case *live:
 		rep := bench.RunLiveAdaptivity(bench.LiveConfig{Recorder: rec, Arrays: reg})
 		bench.PrintLiveReport(os.Stdout, rep)
+	case *reencode:
+		rep := bench.RunLiveReencoding(bench.ReencodeConfig{Recorder: rec, Arrays: reg})
+		bench.PrintReencodeReport(os.Stdout, rep)
 	default:
 		rep := bench.RunAdaptivityRecorded(rec)
 		bench.PrintAdaptReport(os.Stdout, rep, *verbose)

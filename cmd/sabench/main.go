@@ -32,7 +32,8 @@ func main() {
 	fig := flag.Int("fig", 2, "figure to regenerate: 2, 3, or 10")
 	elements := flag.Uint64("elements", 1<<20, "elements per array for the real run")
 	verify := flag.Bool("verify", true, "verify real runs against plain references")
-	kernels := flag.Bool("kernels", false, "also run the fused packed-scan kernel benchmark and append its rows to the report")
+	kernels := flag.Bool("kernels", false, "also run the fused packed-scan and codec kernel benchmarks and append their rows to the report")
+	codecs := flag.Bool("codecs", false, "also print the measured codec fold timings (clustered vs uniform, wall-clock; never gated)")
 	steal := flag.Bool("steal", false, "enable cross-socket work stealing in the real runs")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
 	var of obs.Flags
@@ -87,6 +88,9 @@ func main() {
 		telRow, err := bench.RunKernelTelemetryRow(opts)
 		exitOn(err)
 		rows = append(rows, telRow)
+		codecRows, err := bench.RunCodecKernels(opts)
+		exitOn(err)
+		rows = append(rows, codecRows...)
 		bench.PrintKernelTable(os.Stdout, rows)
 		if report != nil {
 			krep := bench.KernelBenchReport(tool, rows)
@@ -95,6 +99,10 @@ func main() {
 			}
 			report.Rows = append(report.Rows, krep.Rows...)
 		}
+	}
+
+	if *codecs {
+		bench.PrintCodecScanTable(os.Stdout, bench.MeasureCodecScans(0, 0))
 	}
 
 	if of.MetricsOut != "" {

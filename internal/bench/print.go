@@ -182,3 +182,42 @@ func PrintTable2(w io.Writer) {
 		}
 	}
 }
+
+// PrintCodecScanTable writes the measured codec-fold timing rows (the
+// EXPERIMENTS.md sorted/clustered vs uniform evidence).
+func PrintCodecScanTable(w io.Writer, rows []CodecScanRow) {
+	fmt.Fprintln(w, "Codec fold kernels (measured wall-clock, fused sum over the whole column)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tcodec\tcode-bits\tpayload(KB)\tns/elem\tvs bitpacked\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.0f\t%.3f\t%.1fx\t%v\n",
+			r.Dataset, r.Kind, r.CodeBits, float64(r.PayloadBytes)/1e3,
+			r.NsPerElem, r.Speedup, r.Verified)
+	}
+	tw.Flush()
+}
+
+// PrintReencodeReport writes the live re-encoding run summary.
+func PrintReencodeReport(w io.Writer, rep ReencodeReport) {
+	fmt.Fprintln(w, "Live re-encoding: representation drift under a shifting access mix")
+	fmt.Fprintf(w, "  machine %s, %d elements at %d bits\n", rep.Machine, rep.Elements, rep.Bits)
+	fmt.Fprintf(w, "  representation path:")
+	for i, p := range rep.Path {
+		if i > 0 {
+			fmt.Fprintf(w, " ->")
+		}
+		fmt.Fprintf(w, " %s", p)
+	}
+	fmt.Fprintln(w)
+	for _, ev := range rep.Events {
+		fmt.Fprintf(w, "  migrated %s -> %s: %s\n", ev.From, ev.To, ev.Reason)
+	}
+	if rep.GatherFlipLoop > 0 {
+		fmt.Fprintf(w, "  random mix flipped the pick at gather loop %d\n", rep.GatherFlipLoop)
+	}
+	fmt.Fprintf(w, "  migration traffic: %.1f MB\n", float64(rep.TrafficBytes)/1e6)
+	fmt.Fprintf(w, "  live profile: random share %.2f, chunk-decode share %.2f, %.1f reads/element, %d folds\n",
+		rep.Profile.RandomShare(), rep.Profile.ChunkDecodeShare(),
+		rep.Profile.ReadsPerElement(), rep.Profile.Folds)
+	fmt.Fprintf(w, "  verified: %v\n", rep.Verified)
+}

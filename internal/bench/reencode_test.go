@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"testing"
+
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/obs"
+)
+
+// TestRunLiveReencoding is the end-to-end representation-drift scenario:
+// scan-heavy clustered data migrates bit-packed -> RLE, the gather phase
+// migrates it off RLE again (the paper's "significant random accesses ->
+// No Compression" branch), and every phase verifies across migrations.
+func TestRunLiveReencoding(t *testing.T) {
+	rec := obs.NewRecorder(4096)
+	rep := RunLiveReencoding(ReencodeConfig{Elements: 1 << 15, Recorder: rec})
+
+	if !rep.Verified {
+		t.Fatalf("reencode run failed verification: %+v", rep)
+	}
+	if len(rep.Path) != 3 || rep.Path[0] != "bitpacked" || rep.Path[1] != "rle" {
+		t.Fatalf("representation path = %v, want bitpacked -> rle -> <random-friendly>", rep.Path)
+	}
+	if final := rep.Path[2]; final == "rle" || final == "bitpacked" {
+		t.Fatalf("final representation %q did not leave the fold-optimized pick", final)
+	}
+	if rep.GatherFlipLoop == 0 {
+		t.Fatal("gather phase never flipped the representation")
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("got %d reencode events, want 2", len(rep.Events))
+	}
+	first, second := rep.Events[0], rep.Events[1]
+	if first.ChunkDecodeShare < 0.9 {
+		t.Errorf("first migration chunk-decode share = %.3f, want scan-dominated", first.ChunkDecodeShare)
+	}
+	if second.RandomShare <= first.RandomShare {
+		t.Errorf("random share did not climb: %.3f -> %.3f", first.RandomShare, second.RandomShare)
+	}
+	if rep.TrafficBytes == 0 || rep.TrafficBytes != first.TrafficBytes+second.TrafficBytes {
+		t.Errorf("traffic accounting off: total %d, events %d + %d",
+			rep.TrafficBytes, first.TrafficBytes, second.TrafficBytes)
+	}
+
+	// The migrations must surface as recorded audit events.
+	var reencodes int
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindReencode {
+			reencodes++
+			if ev.Reencode.Reason == "" {
+				t.Error("reencode event without a reason")
+			}
+		}
+	}
+	if reencodes != 2 {
+		t.Errorf("recorded %d reencode events, want 2", reencodes)
+	}
+}
+
+// TestRunCodecKernels pins the gated codec rows: every codec x dataset x
+// kernel cell runs, verifies against the plain reference, and models a
+// positive paper-scale time.
+func TestRunCodecKernels(t *testing.T) {
+	rows, err := RunCodecKernels(Options{Elements: 1 << 13, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(codecDatasets) * len(encoding.Kinds) * 2
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	byKernel := make(map[string]KernelResult, len(rows))
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s not verified", r.Kernel)
+		}
+		if r.NsPerOp <= 0 || r.TimeMs <= 0 {
+			t.Errorf("%s: non-positive modeled time %+v", r.Kernel, r)
+		}
+		byKernel[r.Kernel] = r
+	}
+	// The run-skipping fold must model far cheaper than the bit-packed
+	// decode on clustered data — the >10x the docs claim.
+	rle, bp := byKernel["codec-sum/rle/clustered"], byKernel["codec-sum/bitpacked/clustered"]
+	if rle.TimeMs == 0 || bp.TimeMs == 0 {
+		t.Fatal("missing clustered sum rows")
+	}
+	if bp.TimeMs < 10*rle.TimeMs {
+		t.Errorf("clustered RLE fold %.3f ms vs bitpacked %.3f ms: modeled speedup below 10x",
+			rle.TimeMs, bp.TimeMs)
+	}
+}
+
+// TestMeasureCodecScans runs the wall-clock codec folds at a small size:
+// every cell must verify; on clustered data the RLE fold must beat the
+// bit-packed decode outright even at this size.
+func TestMeasureCodecScans(t *testing.T) {
+	rows := MeasureCodecScans(1<<16, 3)
+	if len(rows) != len(codecDatasets)*len(encoding.Kinds) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(codecDatasets)*len(encoding.Kinds))
+	}
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s/%v fold mismatched the reference", r.Dataset, r.Kind)
+		}
+		if r.NsPerElem <= 0 {
+			t.Errorf("%s/%v: non-positive timing", r.Dataset, r.Kind)
+		}
+	}
+	var rleSpeedup float64
+	for _, r := range rows {
+		if r.Dataset == "clustered" && r.Kind == encoding.RLE {
+			rleSpeedup = r.Speedup
+		}
+	}
+	if rleSpeedup < 2 {
+		t.Errorf("clustered RLE measured speedup %.1fx, want comfortably above the bit-packed fold", rleSpeedup)
+	}
+}

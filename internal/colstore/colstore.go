@@ -20,6 +20,7 @@ import (
 
 	"smartarrays/internal/bitpack"
 	"smartarrays/internal/core"
+	"smartarrays/internal/encoding"
 	"smartarrays/internal/memsim"
 	"smartarrays/internal/rts"
 )
@@ -47,6 +48,12 @@ type Options struct {
 	Placement memsim.Placement
 	// Socket is the SingleSocket target.
 	Socket int
+	// AutoEncode re-encodes each added column to the smallest-payload
+	// representation when one beats the native packed words (sorted or
+	// clustered columns typically land on RLE or delta, low-cardinality
+	// ones on a dictionary). Queries are unaffected: every scan pipeline
+	// dispatches over the column's chunk codec.
+	AutoEncode bool
 }
 
 // NewTable creates an empty table with the given row count.
@@ -121,10 +128,40 @@ func (t *Table) AddColumn(name string, values []uint64, opts Options) (*Column, 
 	for i, v := range values {
 		arr.Init(opts.Socket, uint64(i), v)
 	}
+	if opts.AutoEncode {
+		best, bestBytes := encoding.BitPacked, arr.CompressedBytes()
+		stats := encoding.Analyze(values)
+		for _, kind := range encoding.Kinds {
+			if kind == encoding.BitPacked {
+				continue
+			}
+			if b := encoding.EstimatePayloadBytes(kind, stats); b < bestBytes {
+				best, bestBytes = kind, b
+			}
+		}
+		if best != encoding.BitPacked {
+			if _, err := arr.Reencode(best, opts.Socket); err != nil {
+				arr.Free()
+				return nil, err
+			}
+		}
+	}
 	col := &Column{Name: name, arr: arr}
 	t.columns = append(t.columns, col)
 	t.byName[name] = col
 	return col, nil
+}
+
+// ReencodeColumn migrates one column to the given representation in
+// place (the representation lever the adaptivity engine pulls per
+// column), returning the migration traffic. Safe under concurrent
+// queries: readers finish on the representation snapshot they loaded.
+func (t *Table) ReencodeColumn(name string, kind encoding.Kind, socket int) (uint64, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.arr.Reencode(kind, socket)
 }
 
 // Column resolves a column by name.

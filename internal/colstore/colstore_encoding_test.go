@@ -1,0 +1,135 @@
+package colstore
+
+import (
+	"testing"
+
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/memsim"
+)
+
+// queriesMatchScalar pins the fused/bitmap pipelines against the per-row
+// scalar references and the plain-slice shadow on the fixture's current
+// column representations.
+func queriesMatchScalar(t *testing.T, f *fixture, label string) {
+	t.Helper()
+	preds := [][]Pred{
+		nil,
+		{{Column: "qty", Op: Gt, Value: 500}},
+		{{Column: "qty", Op: Le, Value: 700}, {Column: "region", Op: Ne, Value: 2}},
+		{{Column: "region", Op: Eq, Value: 3}},
+	}
+	for _, ps := range preds {
+		for _, agg := range []Agg{Sum, Count, Min, Max} {
+			got, err := f.table.Aggregate(agg, "price", ps...)
+			if err != nil {
+				t.Fatalf("%s: Aggregate: %v", label, err)
+			}
+			want, err := f.table.aggregateScalar(agg, "price", ps...)
+			if err != nil {
+				t.Fatalf("%s: aggregateScalar: %v", label, err)
+			}
+			if got != want {
+				t.Errorf("%s: agg %v preds %v = %d, want %d", label, agg, ps, got, want)
+			}
+		}
+		got, err := f.table.GroupBy("region", Sum, "price", ps...)
+		if err != nil {
+			t.Fatalf("%s: GroupBy: %v", label, err)
+		}
+		want, err := f.table.groupByScalar("region", Sum, "price", ps...)
+		if err != nil {
+			t.Fatalf("%s: groupByScalar: %v", label, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: GroupBy preds %v: %d groups, want %d", label, ps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: GroupBy preds %v row %d = %+v, want %+v", label, ps, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQueriesOnEveryEncoding re-encodes every column through every codec
+// and pins the whole query surface (fused fast paths, selection-bitmap
+// pipeline, dense and scalar group-by) against the per-row references —
+// the chunk-codec dispatch must be invisible to results.
+func TestQueriesOnEveryEncoding(t *testing.T) {
+	for _, kind := range encoding.Kinds {
+		f := newFixture(t, 6_000, memsim.Interleaved)
+		for _, name := range f.table.Columns() {
+			if _, err := f.table.ReencodeColumn(name, kind, 0); err != nil {
+				t.Fatalf("reencode %q to %v: %v", name, kind, err)
+			}
+			c, _ := f.table.Column(name)
+			if got := c.Array().EncodingKind(); got != kind {
+				t.Fatalf("column %q encoding = %v, want %v", name, got, kind)
+			}
+		}
+		queriesMatchScalar(t, f, kind.String())
+	}
+}
+
+// TestQueriesOnMixedEncodings leaves every column in a different
+// representation — predicate columns and target columns may disagree and
+// the pipeline must still compose their kernels.
+func TestQueriesOnMixedEncodings(t *testing.T) {
+	f := newFixture(t, 6_000, memsim.Interleaved)
+	for name, kind := range map[string]encoding.Kind{
+		"qty": encoding.Delta, "price": encoding.FoR, "region": encoding.RLE,
+	} {
+		if _, err := f.table.ReencodeColumn(name, kind, 0); err != nil {
+			t.Fatalf("reencode %q to %v: %v", name, kind, err)
+		}
+	}
+	queriesMatchScalar(t, f, "mixed")
+}
+
+// TestAutoEncode checks that AddColumn's AutoEncode picks a compact
+// representation for structured columns, leaves incompressible ones
+// native, and keeps queries exact either way.
+func TestAutoEncode(t *testing.T) {
+	f := newFixture(t, 8_192, memsim.Interleaved)
+	const rows = 8_192
+	clustered := make([]uint64, rows)
+	sorted := make([]uint64, rows)
+	for i := range clustered {
+		clustered[i] = uint64(i) / 512 // long runs
+		sorted[i] = uint64(i)          // strictly increasing
+	}
+	opts := Options{Placement: memsim.Interleaved, AutoEncode: true}
+	cc, err := f.table.AddColumn("clustered", clustered, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := cc.Array().EncodingKind(); kind != encoding.RLE {
+		t.Errorf("clustered column encoded as %v, want rle", kind)
+	}
+	sc, err := f.table.AddColumn("sorted", sorted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := sc.Array().EncodingKind(); kind == encoding.BitPacked || kind == encoding.Plain {
+		t.Errorf("sorted column stayed %v, want a compact codec", kind)
+	}
+
+	var wantSum uint64
+	for i, v := range clustered {
+		if sorted[i] >= rows/2 {
+			wantSum += v
+		}
+	}
+	got, err := f.table.Aggregate(Sum, "clustered", Pred{Column: "sorted", Op: Ge, Value: rows / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantSum {
+		t.Errorf("auto-encoded aggregate = %d, want %d", got, wantSum)
+	}
+
+	// The compact representations must actually be smaller than packed.
+	if cc.Array().CompressedBytes() >= rows*2 {
+		t.Errorf("clustered payload %d bytes did not shrink", cc.Array().CompressedBytes())
+	}
+}

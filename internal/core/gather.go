@@ -29,7 +29,14 @@ func Gather(a *SmartArray, socket int, idx []uint64, out []uint64) {
 			panic(fmt.Sprintf("core: gather index %d out of range [0,%d)", x, length))
 		}
 	}
-	a.codec.Gather(a.GetReplica(socket), idx, out)
+	rp := a.rep.Load()
+	if enc := rp.enc; enc != nil {
+		for i, x := range idx {
+			out[i] = enc.Get(x)
+		}
+		return
+	}
+	a.codec.Gather(rp.region.Replica(socket), idx, out)
 }
 
 // ReadRange decodes elements [lo, hi) into out for a reader on socket.
@@ -44,7 +51,25 @@ func ReadRange(a *SmartArray, socket int, lo, hi uint64, out []uint64) {
 	if uint64(len(out)) < hi-lo {
 		panic(fmt.Sprintf("core: ReadRange destination holds %d elements, need %d", len(out), hi-lo))
 	}
-	replica := a.GetReplica(socket)
+	rp := a.rep.Load()
+	if enc := rp.enc; enc != nil {
+		headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
+		for i := lo; i < headEnd; i++ {
+			out[i-lo] = enc.Get(i)
+		}
+		if chunkLo < chunkHi {
+			var buf [bitpack.ChunkSize]uint64
+			for ch := chunkLo; ch < chunkHi; ch++ {
+				enc.DecodeChunk(ch, &buf)
+				copy(out[ch*bitpack.ChunkSize-lo:], buf[:])
+			}
+		}
+		for i := tailStart; i < hi; i++ {
+			out[i-lo] = enc.Get(i)
+		}
+		return
+	}
+	replica := rp.region.Replica(socket)
 	codec := a.codec
 	switch a.Bits() {
 	case 64:
@@ -82,7 +107,26 @@ func StreamRange(a *SmartArray, socket int, lo, hi uint64, buf []uint64, emit fu
 		return
 	}
 	a.checkRange(lo, hi)
-	a.codec.UnpackRange(a.GetReplica(socket), lo, hi, buf, emit)
+	rp := a.rep.Load()
+	if enc := rp.enc; enc != nil {
+		// Chunk-wise decode-and-emit: each emitted run is the overlap of a
+		// decoded chunk with [lo, hi), satisfying the UnpackRange contract
+		// (in-order, contiguous, vals valid only during the call).
+		var chunkBuf [bitpack.ChunkSize]uint64
+		for base := lo; base < hi; {
+			chunk := base / bitpack.ChunkSize
+			enc.DecodeChunk(chunk, &chunkBuf)
+			start := base % bitpack.ChunkSize
+			end := uint64(bitpack.ChunkSize)
+			if chunkEnd := (chunk + 1) * bitpack.ChunkSize; chunkEnd > hi {
+				end = bitpack.ChunkSize - (chunkEnd - hi)
+			}
+			emit(base, chunkBuf[start:end])
+			base += end - start
+		}
+		return
+	}
+	a.codec.UnpackRange(rp.region.Replica(socket), lo, hi, buf, emit)
 }
 
 // AccountGather charges n batched random element reads: the same amplified
@@ -92,13 +136,14 @@ func (a *SmartArray) AccountGather(sh *counters.Shard, n uint64, localityBoost f
 	if n == 0 {
 		return
 	}
+	rp := a.rep.Load()
 	t := a.track(sh)
 	spec := a.mem.Spec()
 	elemBytes := float64(a.CompressedBytes()) / float64(a.length)
 	eff := perfmodel.RandomReadBytes(float64(a.CompressedBytes()), elemBytes, spec.LLCMB*1e6, localityBoost)
-	a.region.AccountRandom(sh, n, uint64(eff))
+	rp.region.AccountRandom(sh, n, uint64(eff))
 	sh.Access(n)
-	sh.Instr(uint64(float64(n) * perfmodel.CostGather(a.codec.Bits())))
+	sh.Instr(uint64(float64(n) * rp.costGather(a)))
 	if aa := t.done(sh); aa != nil {
 		aa.Gathers++
 		aa.GatherElems += n
@@ -113,12 +158,13 @@ func (a *SmartArray) AccountStream(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	rp := a.rep.Load()
 	t := a.track(sh)
-	loWord, hiWord := a.WordRange(lo, hi)
-	a.region.AccountScan(sh, loWord, hiWord-loWord)
+	loWord, hiWord := rp.wordRange(a, lo, hi)
+	rp.region.AccountScan(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Access(n)
-	sh.Instr(uint64(float64(n) * perfmodel.CostStream(a.codec.Bits())))
+	sh.Instr(uint64(float64(n) * rp.costStream(a)))
 	if aa := t.done(sh); aa != nil {
 		aa.Streams++
 		aa.StreamElems += n

@@ -27,6 +27,13 @@ type Iterator interface {
 // count).
 func NewIterator(a *SmartArray, socket int, index uint64) Iterator {
 	replica := a.GetReplica(socket)
+	if a.rep.Load().enc != nil {
+		// Re-encoded arrays iterate through the chunk buffer regardless of
+		// width: Unpack dispatches to the codec's DecodeChunk.
+		it := &CompressedIterator{array: a, replica: replica}
+		it.Reset(index)
+		return it
+	}
 	switch a.Bits() {
 	case 64:
 		it := &U64Iterator{data: replica}
@@ -178,30 +185,38 @@ func Map(a *SmartArray, socket int, lo, hi uint64, fn func(index, value uint64))
 	if lo >= hi {
 		return
 	}
-	replica := a.GetReplica(socket)
-	switch a.Bits() {
-	case 64:
-		for i := lo; i < hi; i++ {
-			fn(i, replica[i])
-		}
-	case 32:
-		for i := lo; i < hi; i++ {
-			w := replica[i>>1]
-			fn(i, (w>>((i&1)*32))&0xFFFFFFFF)
-		}
-	default:
-		var buf [bitpack.ChunkSize]uint64
-		i := lo
-		for i < hi {
-			chunk := i / bitpack.ChunkSize
-			a.Unpack(replica, chunk, &buf)
-			end := (chunk + 1) * bitpack.ChunkSize
-			if end > hi {
-				end = hi
+	rp := a.rep.Load()
+	replica := rp.region.Replica(socket)
+	if rp.enc == nil {
+		switch a.Bits() {
+		case 64:
+			for i := lo; i < hi; i++ {
+				fn(i, replica[i])
 			}
-			for ; i < end; i++ {
-				fn(i, buf[i%bitpack.ChunkSize])
+			return
+		case 32:
+			for i := lo; i < hi; i++ {
+				w := replica[i>>1]
+				fn(i, (w>>((i&1)*32))&0xFFFFFFFF)
 			}
+			return
+		}
+	}
+	var buf [bitpack.ChunkSize]uint64
+	i := lo
+	for i < hi {
+		chunk := i / bitpack.ChunkSize
+		if rp.enc != nil {
+			rp.enc.DecodeChunk(chunk, &buf)
+		} else {
+			a.codec.Unpack(replica, chunk, &buf)
+		}
+		end := (chunk + 1) * bitpack.ChunkSize
+		if end > hi {
+			end = hi
+		}
+		for ; i < end; i++ {
+			fn(i, buf[i%bitpack.ChunkSize])
 		}
 	}
 }

@@ -37,11 +37,18 @@ func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresho
 		return false
 	}
 	a.checkRange(lo, hi)
-	replica := a.GetReplica(socket)
-	codec := a.codec
+	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
-	for c := uint64(0); c < n; c++ {
-		masks[c] = codec.CmpMaskChunk(replica, first+c, op, threshold)
+	if enc := rp.enc; enc != nil {
+		for c := uint64(0); c < n; c++ {
+			masks[c] = enc.CmpMaskChunk(first+c, op, threshold)
+		}
+	} else {
+		replica := rp.region.Replica(socket)
+		codec := a.codec
+		for c := uint64(0); c < n; c++ {
+			masks[c] = codec.CmpMaskChunk(replica, first+c, op, threshold)
+		}
 	}
 	// Clamp the ragged head and tail: only the first and last covering
 	// chunks can have bits outside [lo, hi).
@@ -64,10 +71,21 @@ func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thre
 		return false
 	}
 	a.checkRange(lo, hi)
-	replica := a.GetReplica(socket)
-	codec := a.codec
+	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
 	var live uint64
+	if enc := rp.enc; enc != nil {
+		for c := uint64(0); c < n; c++ {
+			if masks[c] == 0 {
+				continue
+			}
+			masks[c] &= enc.CmpMaskChunk(first+c, op, threshold)
+			live |= masks[c]
+		}
+		return live != 0
+	}
+	replica := rp.region.Replica(socket)
+	codec := a.codec
 	for c := uint64(0); c < n; c++ {
 		if masks[c] == 0 {
 			continue
@@ -91,9 +109,20 @@ func ReduceRangeMasked(a *SmartArray, socket int, lo, hi uint64, op ReduceOp, ma
 		return identity
 	}
 	a.checkRange(lo, hi)
-	replica := a.GetReplica(socket)
-	codec := a.codec
+	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
+	if enc := rp.enc; enc != nil {
+		switch op {
+		case ReduceSum:
+			return enc.SumChunksMasked(first, first+n, masks[:n])
+		case ReduceMax:
+			return enc.MaxChunksMasked(first, first+n, masks[:n])
+		default:
+			return enc.MinChunksMasked(first, first+n, masks[:n])
+		}
+	}
+	replica := rp.region.Replica(socket)
+	codec := a.codec
 	switch op {
 	case ReduceSum:
 		return codec.SumChunksMasked(replica, first, first+n, masks[:n])

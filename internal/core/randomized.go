@@ -115,8 +115,12 @@ func (a *SmartArray) InitAtomic(socket int, index, value uint64) {
 	if index >= a.length {
 		panic("core: index out of range")
 	}
-	a.region.Touch(a.WordOf(index), socket)
-	for _, replica := range a.region.AllReplicas() {
+	rp := a.rep.Load()
+	if rp.enc != nil {
+		panic("core: InitAtomic on a re-encoded array (re-encoded arrays are read-only)")
+	}
+	rp.region.Touch(a.WordOf(index), socket)
+	for _, replica := range rp.region.AllReplicas() {
 		a.codec.SetAtomic(replica, index, value)
 	}
 }

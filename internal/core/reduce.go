@@ -62,8 +62,7 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 		return identity
 	}
 	a.checkRange(lo, hi)
-	replica := a.GetReplica(socket)
-	codec := a.codec
+	rp := a.rep.Load()
 	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
 
 	acc := identity
@@ -81,6 +80,27 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 			}
 		}
 	}
+	if enc := rp.enc; enc != nil {
+		for i := lo; i < headEnd; i++ {
+			fold(enc.Get(i))
+		}
+		if chunkLo < chunkHi {
+			switch op {
+			case ReduceSum:
+				acc += enc.SumChunks(chunkLo, chunkHi)
+			case ReduceMax:
+				fold(enc.MaxChunks(chunkLo, chunkHi))
+			default:
+				fold(enc.MinChunks(chunkLo, chunkHi))
+			}
+		}
+		for i := tailStart; i < hi; i++ {
+			fold(enc.Get(i))
+		}
+		return acc
+	}
+	replica := rp.region.Replica(socket)
+	codec := a.codec
 	for i := lo; i < headEnd; i++ {
 		fold(codec.Get(replica, i))
 	}
@@ -108,11 +128,26 @@ func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresh
 		return 0
 	}
 	a.checkRange(lo, hi)
-	replica := a.GetReplica(socket)
-	codec := a.codec
+	rp := a.rep.Load()
 	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
 
 	var count uint64
+	if enc := rp.enc; enc != nil {
+		for i := lo; i < headEnd; i++ {
+			if op.Eval(enc.Get(i), threshold) {
+				count++
+			}
+		}
+		count += enc.CountWhere(chunkLo, chunkHi, op, threshold)
+		for i := tailStart; i < hi; i++ {
+			if op.Eval(enc.Get(i), threshold) {
+				count++
+			}
+		}
+		return count
+	}
+	replica := rp.region.Replica(socket)
+	codec := a.codec
 	for i := lo; i < headEnd; i++ {
 		if op.Eval(codec.Get(replica, i), threshold) {
 			count++

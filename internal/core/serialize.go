@@ -36,8 +36,15 @@ func (a *SmartArray) WriteTo(w io.Writer) (int64, error) {
 		return 0, err
 	}
 	written := int64(len(header))
+	rp := a.rep.Load()
+	words := rp.region.Replica(0)
+	if rp.enc != nil {
+		// Serialize the logical content in the native packed layout the
+		// header describes, whatever the live representation.
+		words = a.codec.PackSlice(rp.decodeAll(a))
+	}
 	var buf [8]byte
-	for _, word := range a.region.Replica(0) {
+	for _, word := range words {
 		binary.LittleEndian.PutUint64(buf[:], word)
 		if _, err := bw.Write(buf[:]); err != nil {
 			return written, err
@@ -70,7 +77,8 @@ func ReadArray(mem *memsim.Memory, r io.Reader, placement memsim.Placement, sock
 	var buf [8]byte
 	// Fill one replica from the stream, then copy to the others and
 	// record page touches for OS-default placement.
-	primary := a.region.Replica(0)
+	region := a.rep.Load().region
+	primary := region.Replica(0)
 	for i := uint64(0); i < words; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			a.Free()
@@ -78,9 +86,9 @@ func ReadArray(mem *memsim.Memory, r io.Reader, placement memsim.Placement, sock
 		}
 		primary[i] = binary.LittleEndian.Uint64(buf[:])
 	}
-	for _, rep := range a.region.AllReplicas()[1:] {
+	for _, rep := range region.AllReplicas()[1:] {
 		copy(rep, primary)
 	}
-	a.region.TouchRange(0, words, socket)
+	region.TouchRange(0, words, socket)
 	return a, nil
 }

@@ -16,6 +16,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"smartarrays/internal/bitpack"
 	"smartarrays/internal/counters"
@@ -48,11 +50,22 @@ type Config struct {
 // integers. All methods are safe for concurrent readers; concurrent writers
 // must synchronize externally (the paper's arrays are read-only after
 // initialization, §4.2).
+//
+// The array's representation — native packed words, or one of the
+// alternative encodings behind encoding.ChunkCodec — lives in an
+// atomically swapped repr snapshot (see reencode.go). Every read path
+// loads the snapshot once per call, so a live re-encode under concurrent
+// scans is safe: in-flight readers finish on the representation they
+// started with.
 type SmartArray struct {
 	mem    *memsim.Memory
-	region *memsim.Region
-	codec  bitpack.Codec
+	codec  bitpack.Codec // native codec at the array's logical width
 	length uint64
+	// rep is the current representation; never nil after Allocate.
+	rep atomic.Pointer[repr]
+	// reencodeMu serializes representation and placement changes
+	// (Reencode, Migrate) against each other; readers never take it.
+	reencodeMu sync.Mutex
 	// id/reg are the array's telemetry registration (see telemetry.go);
 	// id 0 means unregistered and keeps every accounting hook's telemetry
 	// branch to a single integer check.
@@ -73,7 +86,8 @@ func Allocate(mem *memsim.Memory, cfg Config) (*SmartArray, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating %d elements at %d bits: %w", cfg.Length, cfg.Bits, err)
 	}
-	a := &SmartArray{mem: mem, region: region, codec: codec, length: cfg.Length}
+	a := &SmartArray{mem: mem, codec: codec, length: cfg.Length}
+	a.rep.Store(&repr{region: region})
 	a.register(cfg.Name)
 	return a, nil
 }
@@ -100,10 +114,13 @@ func AllocateFor(mem *memsim.Memory, values []uint64, placement memsim.Placement
 // Free releases the array's simulated memory. The telemetry profile, if
 // any, is marked freed but kept for post-mortem inspection.
 func (a *SmartArray) Free() {
-	if a.region != nil {
-		a.region.Free()
-		a.region = nil
+	a.reencodeMu.Lock()
+	rp := a.rep.Load()
+	if rp.region != nil {
+		rp.region.Free()
+		a.rep.Store(&repr{})
 	}
+	a.reencodeMu.Unlock()
 	a.reg.MarkFreed(a.id)
 }
 
@@ -114,37 +131,50 @@ func (a *SmartArray) Length() uint64 { return a.length }
 func (a *SmartArray) Bits() uint { return a.codec.Bits() }
 
 // Placement is the array's NUMA placement policy.
-func (a *SmartArray) Placement() memsim.Placement { return a.region.Placement() }
+func (a *SmartArray) Placement() memsim.Placement { return a.rep.Load().region.Placement() }
 
 // Region exposes the underlying placed region for traffic accounting and
 // migration.
-func (a *SmartArray) Region() *memsim.Region { return a.region }
+func (a *SmartArray) Region() *memsim.Region { return a.rep.Load().region }
 
-// Codec exposes the bit-compression codec.
+// Codec exposes the bit-compression codec (the native logical width; an
+// alternative encoding's code width is in EncodingStats).
 func (a *SmartArray) Codec() bitpack.Codec { return a.codec }
 
 // FootprintBytes is the simulated DRAM consumed, including replicas.
-func (a *SmartArray) FootprintBytes() uint64 { return a.region.FootprintBytes() }
+func (a *SmartArray) FootprintBytes() uint64 { return a.rep.Load().region.FootprintBytes() }
 
-// CompressedBytes is the payload size of one copy of the array.
-func (a *SmartArray) CompressedBytes() uint64 { return a.codec.CompressedBytes(a.length) }
+// CompressedBytes is the payload size of one copy of the array in its
+// current representation.
+func (a *SmartArray) CompressedBytes() uint64 {
+	rp := a.rep.Load()
+	if rp.enc != nil {
+		return rp.enc.PayloadBytes()
+	}
+	return a.codec.CompressedBytes(a.length)
+}
 
 // UncompressedBytes is what one copy would occupy at 64 bits per element.
 func (a *SmartArray) UncompressedBytes() uint64 { return a.length * 8 }
 
 // GetReplica returns the storage a reader on socket should use: the local
 // replica when replicated, the single copy otherwise (paper:
-// getReplica()).
+// getReplica()). For re-encoded arrays the returned words are the
+// accounting mirror, not decodable payload — Get ignores them.
 func (a *SmartArray) GetReplica(socket int) []uint64 {
-	return a.region.Replica(socket)
+	return a.rep.Load().region.Replica(socket)
 }
 
 // Get extracts the element at index from the given replica (paper:
 // get(index, replica), Function 1). Fetch the replica once per scan with
-// GetReplica, not per element.
+// GetReplica, not per element. Re-encoded arrays dispatch to the codec
+// and ignore replica.
 func (a *SmartArray) Get(replica []uint64, index uint64) uint64 {
 	if index >= a.length {
 		panic(fmt.Sprintf("core: index %d out of range [0,%d)", index, a.length))
+	}
+	if rp := a.rep.Load(); rp.enc != nil {
+		return rp.enc.Get(index)
 	}
 	return a.codec.Get(replica, index)
 }
@@ -152,27 +182,47 @@ func (a *SmartArray) Get(replica []uint64, index uint64) uint64 {
 // GetFrom is Get with replica selection folded in, for call sites that do
 // occasional random accesses rather than scans.
 func (a *SmartArray) GetFrom(socket int, index uint64) uint64 {
-	return a.Get(a.GetReplica(socket), index)
+	rp := a.rep.Load()
+	if rp.enc != nil {
+		if index >= a.length {
+			panic(fmt.Sprintf("core: index %d out of range [0,%d)", index, a.length))
+		}
+		return rp.enc.Get(index)
+	}
+	if index >= a.length {
+		panic(fmt.Sprintf("core: index %d out of range [0,%d)", index, a.length))
+	}
+	return a.codec.Get(rp.region.Replica(socket), index)
 }
 
 // Init sets the element at index to value in every replica (paper: init,
 // Function 2's replica loop), recording a first touch of the containing
 // page for OS-default placement. socket is the initializing thread's
 // socket. Init is not safe for concurrent writers to the same word; the
-// paper's workloads initialize ranges in parallel but disjointly.
+// paper's workloads initialize ranges in parallel but disjointly. Arrays
+// are read-only once re-encoded.
 func (a *SmartArray) Init(socket int, index, value uint64) {
 	if index >= a.length {
 		panic(fmt.Sprintf("core: index %d out of range [0,%d)", index, a.length))
 	}
-	a.region.Touch(a.WordOf(index), socket)
-	for _, replica := range a.region.AllReplicas() {
+	rp := a.rep.Load()
+	if rp.enc != nil {
+		panic("core: Init on a re-encoded array (re-encoded arrays are read-only)")
+	}
+	rp.region.Touch(a.WordOf(index), socket)
+	for _, replica := range rp.region.AllReplicas() {
 		a.codec.Set(replica, index, value)
 	}
 }
 
 // Unpack decodes chunk (64 elements) from the replica into out (paper:
-// unpack, Function 3).
+// unpack, Function 3). Re-encoded arrays dispatch to the codec's chunk
+// decode and ignore replica.
 func (a *SmartArray) Unpack(replica []uint64, chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	if rp := a.rep.Load(); rp.enc != nil {
+		rp.enc.DecodeChunk(chunk, out)
+		return
+	}
 	a.codec.Unpack(replica, chunk, out)
 }
 
@@ -205,7 +255,9 @@ func (a *SmartArray) WordRange(lo, hi uint64) (loWord, hiWord uint64) {
 // Migrate restructures the array to a new placement in place, returning
 // the traffic the restructuring generates (§6's on-the-fly adaptation).
 func (a *SmartArray) Migrate(p memsim.Placement, socket int) (trafficBytes uint64, err error) {
-	trafficBytes, err = a.region.Migrate(p, socket)
+	a.reencodeMu.Lock()
+	defer a.reencodeMu.Unlock()
+	trafficBytes, err = a.rep.Load().region.Migrate(p, socket)
 	if err == nil {
 		a.reg.SetPlacement(a.id, p.String())
 	}
@@ -220,12 +272,13 @@ func (a *SmartArray) AccountScan(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	rp := a.rep.Load()
 	t := a.track(sh)
-	loWord, hiWord := a.WordRange(lo, hi)
-	a.region.AccountScan(sh, loWord, hiWord-loWord)
+	loWord, hiWord := rp.wordRange(a, lo, hi)
+	rp.region.AccountScan(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Access(n)
-	sh.Instr(uint64(float64(n) * perfmodel.CostScan(a.codec.Bits())))
+	sh.Instr(uint64(float64(n) * rp.costScan(a)))
 	if aa := t.done(sh); aa != nil {
 		aa.Scans++
 		aa.ScanElems += n
@@ -240,12 +293,13 @@ func (a *SmartArray) AccountReduce(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	rp := a.rep.Load()
 	t := a.track(sh)
-	loWord, hiWord := a.WordRange(lo, hi)
-	a.region.AccountScan(sh, loWord, hiWord-loWord)
+	loWord, hiWord := rp.wordRange(a, lo, hi)
+	rp.region.AccountScan(sh, loWord, hiWord-loWord)
 	n := hi - lo
 	sh.Access(n)
-	sh.Instr(uint64(float64(n) * perfmodel.CostReduce(a.codec.Bits())))
+	sh.Instr(uint64(float64(n) * rp.costReduce(a)))
 	if aa := t.done(sh); aa != nil {
 		aa.Reduces++
 		aa.ReduceElems += n
@@ -258,11 +312,12 @@ func (a *SmartArray) AccountInit(sh *counters.Shard, lo, hi uint64) {
 	if lo >= hi {
 		return
 	}
+	rp := a.rep.Load()
 	t := a.track(sh)
-	loWord, hiWord := a.WordRange(lo, hi)
-	a.region.AccountWrite(sh, loWord, hiWord-loWord)
+	loWord, hiWord := rp.wordRange(a, lo, hi)
+	rp.region.AccountWrite(sh, loWord, hiWord-loWord)
 	n := hi - lo
-	sh.Instr(uint64(float64(n) * perfmodel.CostInit(a.codec.Bits()) * float64(a.region.Replicas())))
+	sh.Instr(uint64(float64(n) * perfmodel.CostInit(a.codec.Bits()) * float64(rp.region.Replicas())))
 	if aa := t.done(sh); aa != nil {
 		aa.Inits++
 		aa.InitElems += n
@@ -277,13 +332,14 @@ func (a *SmartArray) AccountRandomGets(sh *counters.Shard, n uint64, localityBoo
 	if n == 0 {
 		return
 	}
+	rp := a.rep.Load()
 	spec := a.mem.Spec()
 	elemBytes := float64(a.CompressedBytes()) / float64(a.length)
 	t := a.track(sh)
 	eff := perfmodel.RandomReadBytes(float64(a.CompressedBytes()), elemBytes, spec.LLCMB*1e6, localityBoost)
-	a.region.AccountRandom(sh, n, uint64(eff))
+	rp.region.AccountRandom(sh, n, uint64(eff))
 	sh.Access(n)
-	sh.Instr(uint64(float64(n) * perfmodel.CostGet(a.codec.Bits())))
+	sh.Instr(uint64(float64(n) * rp.costGet(a)))
 	if aa := t.done(sh); aa != nil {
 		aa.Gets++
 		aa.GetElems += n

@@ -56,7 +56,7 @@ func (a *SmartArray) register(name string) {
 		return
 	}
 	a.reg = reg
-	a.id = reg.Register(name, a.codec.Bits(), a.length, a.region.Placement().String())
+	a.id = reg.Register(name, a.codec.Bits(), a.length, a.rep.Load().region.Placement().String())
 }
 
 // track captures the shard's byte counters before an accounting call so

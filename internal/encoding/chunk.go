@@ -1,0 +1,558 @@
+package encoding
+
+import (
+	"math/bits"
+	"sort"
+
+	"smartarrays/internal/bitpack"
+)
+
+// ChunkCodec is the chunk-granular kernel interface every encoding
+// implements, mirroring the fused bitpack kernels so core.SmartArray and
+// the colstore scan pipeline can dispatch over the representation instead
+// of assuming bit packing.
+//
+// Contract (same as core's range decomposition guarantees for bitpack):
+//
+//   - The unmasked whole-chunk folds (SumChunks, MinChunks, MaxChunks,
+//     CountWhere) are called only on ranges of full chunks — every element
+//     of [chunkLo*64, chunkHi*64) is a real element. Ragged heads and
+//     tails go through Get or the masked paths.
+//   - Masked folds receive selection bitmaps whose bits beyond the valid
+//     element range are clear (core.MaskRange clamps them), so a partial
+//     tail chunk is safe to include.
+//   - DecodeChunk and CmpMaskChunk may be called on a partial tail chunk;
+//     decoded pad values and pad mask bits are unspecified — callers must
+//     ignore positions at or beyond Length().
+//   - Fold identities match bitpack: sum/count/max of an empty selection
+//     is 0, min is ^uint64(0).
+type ChunkCodec interface {
+	Encoded
+	// DecodeChunk materializes chunk's 64 elements into out.
+	DecodeChunk(chunk uint64, out *[bitpack.ChunkSize]uint64)
+	// SumChunks folds chunks [chunkLo, chunkHi) into a sum.
+	SumChunks(chunkLo, chunkHi uint64) uint64
+	// MinChunks folds chunks [chunkLo, chunkHi) into a minimum.
+	MinChunks(chunkLo, chunkHi uint64) uint64
+	// MaxChunks folds chunks [chunkLo, chunkHi) into a maximum.
+	MaxChunks(chunkLo, chunkHi uint64) uint64
+	// CountWhere counts elements in [chunkLo, chunkHi) matching op threshold.
+	CountWhere(chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64) uint64
+	// CmpMaskChunk evaluates the predicate over one chunk into a bitmap
+	// (bit i = element chunk*64+i matches).
+	CmpMaskChunk(chunk uint64, op bitpack.Cmp, threshold uint64) uint64
+	// SumChunksMasked sums the selected elements of [chunkLo, chunkHi).
+	SumChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64
+	// MinChunksMasked folds the selected elements into a minimum.
+	MinChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64
+	// MaxChunksMasked folds the selected elements into a maximum.
+	MaxChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64
+}
+
+// Compile-time checks: every encoding implements the chunk-codec surface.
+var (
+	_ ChunkCodec = (*PlainArray)(nil)
+	_ ChunkCodec = (*BitPackedArray)(nil)
+	_ ChunkCodec = (*DictArray)(nil)
+	_ ChunkCodec = (*RLEArray)(nil)
+	_ ChunkCodec = (*DeltaArray)(nil)
+	_ ChunkCodec = (*FoRArray)(nil)
+)
+
+// lowMask is a bitmap selecting the low n bits (n <= 64).
+func lowMask(n uint64) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// chunkSpan clamps the element window of chunks [chunkLo, chunkHi) to the
+// array length, returning [lo, hi).
+func chunkSpan(length, chunkLo, chunkHi uint64) (lo, hi uint64) {
+	lo = chunkLo * bitpack.ChunkSize
+	hi = chunkHi * bitpack.ChunkSize
+	if hi > length {
+		hi = length
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ---------------------------------------------------------------------------
+// Plain: direct slice kernels.
+
+// DecodeChunk materializes chunk's 64 elements into out.
+func (p *PlainArray) DecodeChunk(chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	copy(out[:], p.values[chunk*bitpack.ChunkSize:])
+}
+
+// SumChunks folds chunks [chunkLo, chunkHi) into a sum.
+func (p *PlainArray) SumChunks(chunkLo, chunkHi uint64) uint64 {
+	lo, hi := chunkSpan(p.Length(), chunkLo, chunkHi)
+	var s uint64
+	for _, v := range p.values[lo:hi] {
+		s += v
+	}
+	return s
+}
+
+// MinChunks folds chunks [chunkLo, chunkHi) into a minimum.
+func (p *PlainArray) MinChunks(chunkLo, chunkHi uint64) uint64 {
+	lo, hi := chunkSpan(p.Length(), chunkLo, chunkHi)
+	m := ^uint64(0)
+	for _, v := range p.values[lo:hi] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxChunks folds chunks [chunkLo, chunkHi) into a maximum.
+func (p *PlainArray) MaxChunks(chunkLo, chunkHi uint64) uint64 {
+	lo, hi := chunkSpan(p.Length(), chunkLo, chunkHi)
+	var m uint64
+	for _, v := range p.values[lo:hi] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CountWhere counts elements in [chunkLo, chunkHi) matching the predicate.
+func (p *PlainArray) CountWhere(chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	lo, hi := chunkSpan(p.Length(), chunkLo, chunkHi)
+	var n uint64
+	for _, v := range p.values[lo:hi] {
+		if op.Eval(v, threshold) {
+			n++
+		}
+	}
+	return n
+}
+
+// CmpMaskChunk evaluates the predicate over one chunk into a bitmap.
+func (p *PlainArray) CmpMaskChunk(chunk uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	lo, hi := chunkSpan(p.Length(), chunk, chunk+1)
+	var m uint64
+	for i, v := range p.values[lo:hi] {
+		if op.Eval(v, threshold) {
+			m |= uint64(1) << uint(i)
+		}
+	}
+	return m
+}
+
+// SumChunksMasked sums the selected elements of [chunkLo, chunkHi).
+func (p *PlainArray) SumChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var s uint64
+	p.foldMasked(chunkLo, chunkHi, masks, func(v uint64) { s += v })
+	return s
+}
+
+// MinChunksMasked folds the selected elements into a minimum.
+func (p *PlainArray) MinChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	m := ^uint64(0)
+	p.foldMasked(chunkLo, chunkHi, masks, func(v uint64) {
+		if v < m {
+			m = v
+		}
+	})
+	return m
+}
+
+// MaxChunksMasked folds the selected elements into a maximum.
+func (p *PlainArray) MaxChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var m uint64
+	p.foldMasked(chunkLo, chunkHi, masks, func(v uint64) {
+		if v > m {
+			m = v
+		}
+	})
+	return m
+}
+
+func (p *PlainArray) foldMasked(chunkLo, chunkHi uint64, masks []uint64, fn func(v uint64)) {
+	for c := chunkLo; c < chunkHi; c++ {
+		m := masks[c-chunkLo]
+		if m == 0 {
+			continue
+		}
+		base := c * bitpack.ChunkSize
+		for m != 0 {
+			i := uint64(bits.TrailingZeros64(m))
+			fn(p.values[base+i])
+			m &= m - 1
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// BitPacked: straight delegation to the fused bitpack kernels.
+
+// DecodeChunk materializes chunk's 64 elements into out.
+func (b *BitPackedArray) DecodeChunk(chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	b.codec.Unpack(b.data, chunk, out)
+}
+
+// SumChunks folds chunks [chunkLo, chunkHi) into a sum.
+func (b *BitPackedArray) SumChunks(chunkLo, chunkHi uint64) uint64 {
+	return b.codec.SumChunks(b.data, chunkLo, chunkHi)
+}
+
+// MinChunks folds chunks [chunkLo, chunkHi) into a minimum.
+func (b *BitPackedArray) MinChunks(chunkLo, chunkHi uint64) uint64 {
+	return b.codec.MinChunks(b.data, chunkLo, chunkHi)
+}
+
+// MaxChunks folds chunks [chunkLo, chunkHi) into a maximum.
+func (b *BitPackedArray) MaxChunks(chunkLo, chunkHi uint64) uint64 {
+	return b.codec.MaxChunks(b.data, chunkLo, chunkHi)
+}
+
+// CountWhere counts elements in [chunkLo, chunkHi) matching the predicate.
+func (b *BitPackedArray) CountWhere(chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	return b.codec.CountWhere(b.data, chunkLo, chunkHi, op, threshold)
+}
+
+// CmpMaskChunk evaluates the predicate over one chunk into a bitmap.
+func (b *BitPackedArray) CmpMaskChunk(chunk uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	return b.codec.CmpMaskChunk(b.data, chunk, op, threshold)
+}
+
+// SumChunksMasked sums the selected elements of [chunkLo, chunkHi).
+func (b *BitPackedArray) SumChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	return b.codec.SumChunksMasked(b.data, chunkLo, chunkHi, masks)
+}
+
+// MinChunksMasked folds the selected elements into a minimum.
+func (b *BitPackedArray) MinChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	return b.codec.MinChunksMasked(b.data, chunkLo, chunkHi, masks)
+}
+
+// MaxChunksMasked folds the selected elements into a maximum.
+func (b *BitPackedArray) MaxChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	return b.codec.MaxChunksMasked(b.data, chunkLo, chunkHi, masks)
+}
+
+// ---------------------------------------------------------------------------
+// Dict: predicates rewrite into ID space (the classic dictionary trick —
+// the sorted dictionary makes order comparisons order-preserving on IDs),
+// min/max fold over IDs, sums decode chunk-at-a-time.
+
+// idPredicate is a value-space predicate rewritten into dictionary-ID
+// space. Either the outcome is constant for every element (constKnown),
+// or (op, thr) is the equivalent ID-space comparison.
+type idPredicate struct {
+	constKnown bool
+	constAll   bool // with constKnown: true = every element matches
+	op         bitpack.Cmp
+	thr        uint64
+}
+
+// rewritePredicate maps (op, value) into ID space via binary search on
+// the sorted dictionary. Comparisons then run on bit-packed IDs without
+// decoding any values.
+func (d *DictArray) rewritePredicate(op bitpack.Cmp, value uint64) idPredicate {
+	nd := uint64(len(d.dict))
+	i := uint64(sort.Search(len(d.dict), func(i int) bool { return d.dict[i] >= value }))
+	exact := i < nd && d.dict[i] == value
+	constOf := func(all bool) idPredicate { return idPredicate{constKnown: true, constAll: all} }
+	switch op {
+	case bitpack.CmpEq:
+		if exact {
+			return idPredicate{op: bitpack.CmpEq, thr: i}
+		}
+		return constOf(false)
+	case bitpack.CmpNe:
+		if exact {
+			return idPredicate{op: bitpack.CmpNe, thr: i}
+		}
+		return constOf(true)
+	case bitpack.CmpLt, bitpack.CmpGe:
+		// value <  dict[id] for id >= i; value > dict[id] for id < i.
+		j := i
+		lt := op == bitpack.CmpLt
+		if j == 0 {
+			return constOf(!lt)
+		}
+		if j == nd {
+			return constOf(lt)
+		}
+		if lt {
+			return idPredicate{op: bitpack.CmpLt, thr: j}
+		}
+		return idPredicate{op: bitpack.CmpGe, thr: j}
+	case bitpack.CmpLe, bitpack.CmpGt:
+		j := i
+		if exact {
+			j++
+		}
+		le := op == bitpack.CmpLe
+		if j == 0 {
+			return constOf(!le)
+		}
+		if j == nd {
+			return constOf(le)
+		}
+		if le {
+			return idPredicate{op: bitpack.CmpLt, thr: j}
+		}
+		return idPredicate{op: bitpack.CmpGe, thr: j}
+	default:
+		panic("encoding: unknown comparison")
+	}
+}
+
+// DecodeChunk materializes chunk's 64 elements into out (pad IDs beyond
+// the last element decode as 0, a valid dictionary slot).
+func (d *DictArray) DecodeChunk(chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	d.ids.DecodeChunk(chunk, out)
+	for i := range out {
+		out[i] = d.dict[out[i]]
+	}
+}
+
+// SumChunks folds chunks [chunkLo, chunkHi) into a sum.
+func (d *DictArray) SumChunks(chunkLo, chunkHi uint64) uint64 {
+	var buf [bitpack.ChunkSize]uint64
+	var s uint64
+	for c := chunkLo; c < chunkHi; c++ {
+		d.ids.DecodeChunk(c, &buf)
+		for _, id := range buf {
+			s += d.dict[id]
+		}
+	}
+	return s
+}
+
+// MinChunks folds chunks [chunkLo, chunkHi) into a minimum: the sorted
+// dictionary makes it one ID-space fold plus a lookup.
+func (d *DictArray) MinChunks(chunkLo, chunkHi uint64) uint64 {
+	if chunkLo >= chunkHi {
+		return ^uint64(0)
+	}
+	return d.dict[d.ids.MinChunks(chunkLo, chunkHi)]
+}
+
+// MaxChunks folds chunks [chunkLo, chunkHi) into a maximum.
+func (d *DictArray) MaxChunks(chunkLo, chunkHi uint64) uint64 {
+	if chunkLo >= chunkHi {
+		return 0
+	}
+	return d.dict[d.ids.MaxChunks(chunkLo, chunkHi)]
+}
+
+// CountWhere counts matching elements without decoding: the predicate is
+// rewritten into ID space and evaluated on the packed IDs.
+func (d *DictArray) CountWhere(chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	p := d.rewritePredicate(op, threshold)
+	if p.constKnown {
+		if !p.constAll {
+			return 0
+		}
+		lo, hi := chunkSpan(d.length, chunkLo, chunkHi)
+		return hi - lo
+	}
+	return d.ids.CountWhere(chunkLo, chunkHi, p.op, p.thr)
+}
+
+// CmpMaskChunk evaluates the predicate over one chunk into a bitmap, in
+// ID space.
+func (d *DictArray) CmpMaskChunk(chunk uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	p := d.rewritePredicate(op, threshold)
+	if p.constKnown {
+		if !p.constAll {
+			return 0
+		}
+		return ^uint64(0)
+	}
+	return d.ids.CmpMaskChunk(chunk, p.op, p.thr)
+}
+
+// SumChunksMasked sums the selected elements of [chunkLo, chunkHi).
+func (d *DictArray) SumChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var buf [bitpack.ChunkSize]uint64
+	var s uint64
+	for c := chunkLo; c < chunkHi; c++ {
+		m := masks[c-chunkLo]
+		if m == 0 {
+			continue
+		}
+		d.ids.DecodeChunk(c, &buf)
+		for m != 0 {
+			i := uint64(bits.TrailingZeros64(m))
+			s += d.dict[buf[i]]
+			m &= m - 1
+		}
+	}
+	return s
+}
+
+// MinChunksMasked folds the selected elements into a minimum, in ID space.
+func (d *DictArray) MinChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	if bitpack.AllZeroMasks(masks) {
+		return ^uint64(0)
+	}
+	return d.dict[d.ids.MinChunksMasked(chunkLo, chunkHi, masks)]
+}
+
+// MaxChunksMasked folds the selected elements into a maximum, in ID space.
+func (d *DictArray) MaxChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	if bitpack.AllZeroMasks(masks) {
+		return 0
+	}
+	return d.dict[d.ids.MaxChunksMasked(chunkLo, chunkHi, masks)]
+}
+
+// ---------------------------------------------------------------------------
+// RLE: every fold walks runs, not elements — O(runs overlapping the
+// range) instead of O(elements), which is where the >10x on sorted and
+// clustered columns comes from.
+
+// forEachSegment invokes fn(value, segStart, segLen) for each maximal
+// run segment overlapping the element window [eLo, eHi), in order.
+// eHi is clamped to the array length.
+func (r *RLEArray) forEachSegment(eLo, eHi uint64, fn func(v, start, n uint64)) {
+	if eHi > r.length {
+		eHi = r.length
+	}
+	if eLo >= eHi {
+		return
+	}
+	run, start := r.seekRun(eLo)
+	for pos := eLo; pos < eHi; run++ {
+		n := r.lengths.Get(run)
+		end := start + n
+		segEnd := end
+		if segEnd > eHi {
+			segEnd = eHi
+		}
+		fn(r.values.Get(run), pos, segEnd-pos)
+		pos = segEnd
+		start = end
+	}
+}
+
+// DecodeChunk materializes chunk's 64 elements into out.
+func (r *RLEArray) DecodeChunk(chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	base := chunk * bitpack.ChunkSize
+	r.forEachSegment(base, base+bitpack.ChunkSize, func(v, start, n uint64) {
+		for i := start - base; i < start-base+n; i++ {
+			out[i] = v
+		}
+	})
+}
+
+// SumChunks folds chunks [chunkLo, chunkHi) into a sum: value times
+// overlap per run.
+func (r *RLEArray) SumChunks(chunkLo, chunkHi uint64) uint64 {
+	var s uint64
+	r.forEachSegment(chunkLo*bitpack.ChunkSize, chunkHi*bitpack.ChunkSize, func(v, _, n uint64) {
+		s += v * n
+	})
+	return s
+}
+
+// MinChunks folds chunks [chunkLo, chunkHi) into a minimum.
+func (r *RLEArray) MinChunks(chunkLo, chunkHi uint64) uint64 {
+	m := ^uint64(0)
+	r.forEachSegment(chunkLo*bitpack.ChunkSize, chunkHi*bitpack.ChunkSize, func(v, _, _ uint64) {
+		if v < m {
+			m = v
+		}
+	})
+	return m
+}
+
+// MaxChunks folds chunks [chunkLo, chunkHi) into a maximum.
+func (r *RLEArray) MaxChunks(chunkLo, chunkHi uint64) uint64 {
+	var m uint64
+	r.forEachSegment(chunkLo*bitpack.ChunkSize, chunkHi*bitpack.ChunkSize, func(v, _, _ uint64) {
+		if v > m {
+			m = v
+		}
+	})
+	return m
+}
+
+// CountWhere counts matching elements: one predicate evaluation per run.
+func (r *RLEArray) CountWhere(chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	var count uint64
+	r.forEachSegment(chunkLo*bitpack.ChunkSize, chunkHi*bitpack.ChunkSize, func(v, _, n uint64) {
+		if op.Eval(v, threshold) {
+			count += n
+		}
+	})
+	return count
+}
+
+// CmpMaskChunk evaluates the predicate over one chunk into a bitmap: one
+// evaluation per run, bits set in contiguous spans.
+func (r *RLEArray) CmpMaskChunk(chunk uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	base := chunk * bitpack.ChunkSize
+	var m uint64
+	r.forEachSegment(base, base+bitpack.ChunkSize, func(v, start, n uint64) {
+		if op.Eval(v, threshold) {
+			m |= lowMask(n) << (start - base)
+		}
+	})
+	return m
+}
+
+// SumChunksMasked sums the selected elements: per run, intersect the run
+// span with the selection bitmap and popcount.
+func (r *RLEArray) SumChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var s uint64
+	r.foldSegmentsMasked(chunkLo, chunkHi, masks, func(v uint64, selected uint64) {
+		s += v * selected
+	})
+	return s
+}
+
+// MinChunksMasked folds the selected elements into a minimum.
+func (r *RLEArray) MinChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	m := ^uint64(0)
+	r.foldSegmentsMasked(chunkLo, chunkHi, masks, func(v uint64, selected uint64) {
+		if selected > 0 && v < m {
+			m = v
+		}
+	})
+	return m
+}
+
+// MaxChunksMasked folds the selected elements into a maximum.
+func (r *RLEArray) MaxChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	var m uint64
+	r.foldSegmentsMasked(chunkLo, chunkHi, masks, func(v uint64, selected uint64) {
+		if selected > 0 && v > m {
+			m = v
+		}
+	})
+	return m
+}
+
+// foldSegmentsMasked walks runs once across the masked window, reporting
+// each run's value and its count of selected elements.
+func (r *RLEArray) foldSegmentsMasked(chunkLo, chunkHi uint64, masks []uint64, fn func(v uint64, selected uint64)) {
+	r.forEachSegment(chunkLo*bitpack.ChunkSize, chunkHi*bitpack.ChunkSize, func(v, start, n uint64) {
+		var selected uint64
+		for n > 0 {
+			chunk := start / bitpack.ChunkSize
+			bit := start % bitpack.ChunkSize
+			take := bitpack.ChunkSize - bit
+			if take > n {
+				take = n
+			}
+			m := masks[chunk-chunkLo] >> bit & lowMask(take)
+			selected += uint64(bits.OnesCount64(m))
+			start += take
+			n -= take
+		}
+		fn(v, selected)
+	})
+}

@@ -1,0 +1,334 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartarrays/internal/bitpack"
+)
+
+var chunkTestCmps = []bitpack.Cmp{
+	bitpack.CmpEq, bitpack.CmpNe, bitpack.CmpLt,
+	bitpack.CmpLe, bitpack.CmpGt, bitpack.CmpGe,
+}
+
+// chunkTestValues builds a width-w dataset with a bit of everything: runs,
+// jumps, boundary values, and noise. Length is deliberately not a chunk
+// multiple so the partial-tail paths get exercised.
+func chunkTestValues(w uint, rng *rand.Rand) []uint64 {
+	max := bitpack.MustNew(w).MaxValue()
+	n := 5*bitpack.ChunkSize + rng.Intn(2*bitpack.ChunkSize) + 1
+	values := make([]uint64, n)
+	i := 0
+	for i < n {
+		var v uint64
+		switch rng.Intn(4) {
+		case 0:
+			v = 0
+		case 1:
+			v = max
+		case 2:
+			v = rng.Uint64() & max
+		default:
+			v = uint64(i) & max // locally increasing
+		}
+		runLen := 1
+		if rng.Intn(2) == 0 {
+			runLen += rng.Intn(40)
+		}
+		for ; runLen > 0 && i < n; runLen-- {
+			values[i] = v
+			i++
+		}
+	}
+	return values
+}
+
+// checkChunkCodec pins every ChunkCodec entry point against the Get-based
+// scalar reference on one dataset.
+func checkChunkCodec(t *testing.T, cc ChunkCodec, values []uint64, rng *rand.Rand) {
+	t.Helper()
+	n := uint64(len(values))
+	fullChunks := n / bitpack.ChunkSize
+	allChunks := (n + bitpack.ChunkSize - 1) / bitpack.ChunkSize
+
+	// DecodeChunk on every chunk, including the ragged tail (pad ignored).
+	var buf [bitpack.ChunkSize]uint64
+	for c := uint64(0); c < allChunks; c++ {
+		cc.DecodeChunk(c, &buf)
+		for i := uint64(0); i < bitpack.ChunkSize && c*bitpack.ChunkSize+i < n; i++ {
+			if buf[i] != values[c*bitpack.ChunkSize+i] {
+				t.Fatalf("DecodeChunk(%d)[%d] = %d, want %d", c, i, buf[i], values[c*bitpack.ChunkSize+i])
+			}
+		}
+	}
+
+	// Unmasked folds over a few full-chunk windows, empty window included.
+	windows := [][2]uint64{{0, fullChunks}, {0, 0}}
+	if fullChunks >= 2 {
+		lo := uint64(rng.Intn(int(fullChunks)))
+		hi := lo + 1 + uint64(rng.Intn(int(fullChunks-lo)))
+		windows = append(windows, [2]uint64{lo, hi}, [2]uint64{fullChunks - 1, fullChunks})
+	}
+	thresholds := []uint64{0, ^uint64(0), values[rng.Intn(len(values))], values[0] + 1}
+	for _, win := range windows {
+		lo, hi := win[0]*bitpack.ChunkSize, win[1]*bitpack.ChunkSize
+		var sum, max uint64
+		min := ^uint64(0)
+		for _, v := range values[lo:hi] {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if got := cc.SumChunks(win[0], win[1]); got != sum {
+			t.Fatalf("SumChunks%v = %d, want %d", win, got, sum)
+		}
+		if got := cc.MinChunks(win[0], win[1]); got != min {
+			t.Fatalf("MinChunks%v = %d, want %d", win, got, min)
+		}
+		if got := cc.MaxChunks(win[0], win[1]); got != max {
+			t.Fatalf("MaxChunks%v = %d, want %d", win, got, max)
+		}
+		for _, op := range chunkTestCmps {
+			for _, thr := range thresholds {
+				var count uint64
+				for _, v := range values[lo:hi] {
+					if op.Eval(v, thr) {
+						count++
+					}
+				}
+				if got := cc.CountWhere(win[0], win[1], op, thr); got != count {
+					t.Fatalf("CountWhere%v(%v, %d) = %d, want %d", win, op, thr, got, count)
+				}
+			}
+		}
+	}
+
+	// CmpMaskChunk on every chunk (tail pad bits ignored).
+	for c := uint64(0); c < allChunks; c++ {
+		for _, op := range chunkTestCmps {
+			thr := thresholds[rng.Intn(len(thresholds))]
+			got := cc.CmpMaskChunk(c, op, thr)
+			for i := uint64(0); i < bitpack.ChunkSize && c*bitpack.ChunkSize+i < n; i++ {
+				want := op.Eval(values[c*bitpack.ChunkSize+i], thr)
+				if got>>i&1 == 1 != want {
+					t.Fatalf("CmpMaskChunk(%d, %v, %d) bit %d = %v, want %v", c, op, thr, i, !want, want)
+				}
+			}
+		}
+	}
+
+	// Masked folds over the whole array with random selections, clamped at
+	// the tail the way core.MaskRange guarantees. Include all-zero and
+	// all-ones masks to hit the identity paths.
+	for trial := 0; trial < 3; trial++ {
+		masks := make([]uint64, allChunks)
+		for i := range masks {
+			switch trial {
+			case 0:
+				masks[i] = 0
+			case 1:
+				masks[i] = ^uint64(0)
+			default:
+				masks[i] = rng.Uint64()
+			}
+		}
+		if tail := n % bitpack.ChunkSize; tail != 0 {
+			masks[allChunks-1] &= uint64(1)<<tail - 1
+		}
+		var sum, max uint64
+		min := ^uint64(0)
+		for i, v := range values {
+			if masks[i/bitpack.ChunkSize]>>(uint(i)%bitpack.ChunkSize)&1 == 0 {
+				continue
+			}
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if got := cc.SumChunksMasked(0, allChunks, masks); got != sum {
+			t.Fatalf("SumChunksMasked trial %d = %d, want %d", trial, got, sum)
+		}
+		if got := cc.MinChunksMasked(0, allChunks, masks); got != min {
+			t.Fatalf("MinChunksMasked trial %d = %d, want %d", trial, got, min)
+		}
+		if got := cc.MaxChunksMasked(0, allChunks, masks); got != max {
+			t.Fatalf("MaxChunksMasked trial %d = %d, want %d", trial, got, max)
+		}
+	}
+}
+
+// TestChunkCodecWidthSweep pins every codec's chunk and fold kernels
+// against the Get-based reference at every packed width 1..64.
+func TestChunkCodecWidthSweep(t *testing.T) {
+	for w := uint(1); w <= 64; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		values := chunkTestValues(w, rng)
+		for _, kind := range Kinds {
+			e, err := Build(kind, values)
+			if err != nil {
+				t.Fatalf("width %d: Build(%v): %v", w, kind, err)
+			}
+			cc, ok := e.(ChunkCodec)
+			if !ok {
+				t.Fatalf("width %d: %v does not implement ChunkCodec", w, kind)
+			}
+			checkRoundTrip(t, e, values)
+			checkChunkCodec(t, cc, values, rng)
+		}
+	}
+}
+
+// TestChunkCodecExactChunkMultiple covers the no-ragged-tail shape the
+// sweep's random lengths never produce.
+func TestChunkCodecExactChunkMultiple(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	values := make([]uint64, 4*bitpack.ChunkSize)
+	for i := range values {
+		values[i] = uint64(rng.Intn(1 << 12))
+	}
+	for _, kind := range Kinds {
+		e, err := Build(kind, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkChunkCodec(t, e.(ChunkCodec), values, rng)
+	}
+}
+
+// TestEstimateMatchesConstruction is the property EstimatePayloadBytes
+// documents: the estimate from one Analyze pass equals the built
+// encoding's PayloadBytes, and EstimateCostStats matches CostStatsOf on
+// the structural fields.
+func TestEstimateMatchesConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	datasets := map[string][]uint64{
+		"empty": nil,
+		"one":   {12345},
+	}
+	for _, w := range []uint{1, 7, 16, 33, 64} {
+		datasets["random"+string(rune('0'+w%10))] = chunkTestValues(w, rng)
+	}
+	sorted := make([]uint64, 3000)
+	for i := range sorted {
+		sorted[i] = uint64(i) * 5
+	}
+	datasets["sorted"] = sorted
+
+	for name, values := range datasets {
+		stats := Analyze(values)
+		for _, kind := range Kinds {
+			est := EstimatePayloadBytes(kind, stats)
+			e, err := Build(kind, values)
+			if err != nil {
+				if len(values) == 0 {
+					continue
+				}
+				t.Fatalf("%s/%v: %v", name, kind, err)
+			}
+			if got := e.PayloadBytes(); got != est {
+				t.Errorf("%s/%v: estimated %d B, built %d B", name, kind, est, got)
+			}
+			if len(values) == 0 {
+				continue // CostStats of an empty array is a degenerate sentinel
+			}
+			ecs, bcs := EstimateCostStats(kind, stats), CostStatsOf(e)
+			if ecs.CodeBits != bcs.CodeBits {
+				t.Errorf("%s/%v: estimated CodeBits %d, built %d", name, kind, ecs.CodeBits, bcs.CodeBits)
+			}
+			if ecs.RunsPerElem != bcs.RunsPerElem {
+				t.Errorf("%s/%v: estimated RunsPerElem %g, built %g", name, kind, ecs.RunsPerElem, bcs.RunsPerElem)
+			}
+			// Delta's estimate is a lower bound on broken chunks, so the
+			// estimated constant share can only be >= the built one.
+			if kind == Delta && ecs.ConstChunkShare < bcs.ConstChunkShare {
+				t.Errorf("%s/%v: estimated ConstChunkShare %g below built %g",
+					name, kind, ecs.ConstChunkShare, bcs.ConstChunkShare)
+			}
+		}
+	}
+}
+
+// FuzzEncodingRoundTrip decodes fuzzer-shaped byte strings into value
+// slices, builds every codec, and checks Get, DecodeAll via Decode, and
+// the unmasked folds against the plain reference.
+func FuzzEncodingRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte{0, 0, 0, 0, 1, 2, 3, 250}, uint8(8))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 1}, uint8(64))
+	f.Fuzz(func(t *testing.T, raw []byte, widthSeed uint8) {
+		w := uint(widthSeed)%64 + 1
+		mask := bitpack.MustNew(w).MaxValue()
+		// Each byte extends the previous value or starts a run, so small
+		// inputs still produce runs, jumps, and repeats.
+		values := make([]uint64, 0, len(raw))
+		var cur uint64
+		for _, b := range raw {
+			if b&1 == 0 {
+				cur = (cur*31 + uint64(b)) & mask
+			}
+			values = append(values, cur)
+		}
+		if len(values) == 0 {
+			return
+		}
+		var refSum, refMax uint64
+		refMin := ^uint64(0)
+		for _, v := range values {
+			refSum += v
+			if v < refMin {
+				refMin = v
+			}
+			if v > refMax {
+				refMax = v
+			}
+		}
+		chunks := (uint64(len(values)) + bitpack.ChunkSize - 1) / bitpack.ChunkSize
+		full := uint64(len(values)) / bitpack.ChunkSize
+		for _, kind := range Kinds {
+			e, err := Build(kind, values)
+			if err != nil {
+				t.Fatalf("Build(%v): %v", kind, err)
+			}
+			for i, v := range values {
+				if got := e.Get(uint64(i)); got != v {
+					t.Fatalf("%v: Get(%d) = %d, want %d", kind, i, got, v)
+				}
+			}
+			cc := e.(ChunkCodec)
+			// Whole-array fold via the masked path (clamped tail mask).
+			masks := make([]uint64, chunks)
+			for i := range masks {
+				masks[i] = ^uint64(0)
+			}
+			if tail := uint64(len(values)) % bitpack.ChunkSize; tail != 0 {
+				masks[chunks-1] = uint64(1)<<tail - 1
+			}
+			if got := cc.SumChunksMasked(0, chunks, masks); got != refSum {
+				t.Fatalf("%v: masked sum = %d, want %d", kind, got, refSum)
+			}
+			if got := cc.MinChunksMasked(0, chunks, masks); got != refMin {
+				t.Fatalf("%v: masked min = %d, want %d", kind, got, refMin)
+			}
+			if got := cc.MaxChunksMasked(0, chunks, masks); got != refMax {
+				t.Fatalf("%v: masked max = %d, want %d", kind, got, refMax)
+			}
+			// Full-chunk prefix via the unmasked folds.
+			var headSum uint64
+			for _, v := range values[:full*bitpack.ChunkSize] {
+				headSum += v
+			}
+			if got := cc.SumChunks(0, full); got != headSum {
+				t.Fatalf("%v: SumChunks(0, %d) = %d, want %d", kind, full, got, headSum)
+			}
+		}
+	})
+}

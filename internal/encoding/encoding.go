@@ -1,13 +1,20 @@
 // Package encoding implements the alternative lightweight compression
 // techniques the paper plans beyond plain bit compression (§4.2, §7):
-// dictionary encoding and run-length encoding, plus a selector that picks
-// the smallest encoding for a given value distribution — the paper's
-// envisioned "ability to dynamically select the correct technique".
+// dictionary, run-length, delta, and frame-of-reference encoding, plus a
+// selector that picks the smallest encoding for a given value
+// distribution — the paper's envisioned "ability to dynamically select
+// the correct technique".
 //
 // All encodings expose the same read interface over 64-bit unsigned
 // values and report their payload size, so the adaptivity machinery can
-// trade them off. The encoded forms build on the bitpack codec: dictionary
-// IDs and run values are themselves bit-packed at their minimum widths.
+// trade them off. Beyond per-element Get, every encoding implements the
+// ChunkCodec interface (chunk.go): chunk-granular decode plus the fused,
+// masked, and predicate-mask fold hooks mirroring the bitpack kernels
+// (SumChunks, CmpMaskChunk, SumChunksMasked, ...), which is what lets
+// core.SmartArray and the colstore scan pipeline dispatch over the codec
+// instead of assuming bit packing. The encoded forms build on the bitpack
+// codec: dictionary IDs, run values, deltas, and residuals are themselves
+// bit-packed at their minimum widths.
 package encoding
 
 import (
@@ -32,7 +39,19 @@ const (
 	// RLE is run-length encoding: (value, length) pairs, both
 	// bit-packed, with a sparse index for random access.
 	RLE
+	// Delta stores each chunk as a bit-packed first value plus zigzag
+	// deltas between neighbours — tiny widths for sorted or
+	// slowly-varying data, with all-zero-delta chunks detected and
+	// folded in O(1).
+	Delta
+	// FoR is frame-of-reference encoding: a single reference (the
+	// minimum) plus bit-packed residuals — bit packing for value ranges
+	// that are narrow but far from zero.
+	FoR
 )
+
+// Kinds lists every encoding technique in selection order.
+var Kinds = []Kind{Plain, BitPacked, Dict, RLE, Delta, FoR}
 
 // String names the encoding.
 func (k Kind) String() string {
@@ -45,6 +64,10 @@ func (k Kind) String() string {
 		return "dictionary"
 	case RLE:
 		return "rle"
+	case Delta:
+		return "delta"
+	case FoR:
+		return "for"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -208,9 +231,6 @@ func NewRLE(values []uint64) *RLEArray {
 		runs:   uint64(len(runVals)),
 		length: uint64(len(values)),
 	}
-	if len(runVals) == 0 {
-		runVals, runLens = []uint64{0}, []uint64{0}
-	}
 	r.values = NewBitPacked(runVals)
 	r.lengths = NewBitPacked(runLens)
 	var offset uint64
@@ -232,13 +252,11 @@ func (r *RLEArray) Length() uint64 { return r.length }
 // Runs is the number of runs.
 func (r *RLEArray) Runs() uint64 { return r.runs }
 
-// Get returns the element at index: binary search the sparse index, then
-// walk runs within the stride.
-func (r *RLEArray) Get(index uint64) uint64 {
-	if index >= r.length {
-		panic(fmt.Sprintf("encoding: index %d out of range [0,%d)", index, r.length))
-	}
-	// Find the last index entry with offset <= index.
+// seekRun locates the run containing element index: binary search the
+// sparse index for the last entry with offset <= index, then walk at most
+// a stride of runs. Returns the run number and the element offset at
+// which that run starts. The caller guarantees index < r.length.
+func (r *RLEArray) seekRun(index uint64) (run, start uint64) {
 	lo, hi := 0, len(r.index)-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
@@ -248,15 +266,39 @@ func (r *RLEArray) Get(index uint64) uint64 {
 			hi = mid - 1
 		}
 	}
-	run := uint64(lo) * rleIndexStride
-	offset := r.index[lo]
+	run = uint64(lo) * rleIndexStride
+	start = r.index[lo]
 	for {
 		n := r.lengths.Get(run)
-		if index < offset+n {
-			return r.values.Get(run)
+		if index < start+n {
+			return run, start
 		}
-		offset += n
+		start += n
 		run++
+	}
+}
+
+// Get returns the element at index: binary search the sparse index, then
+// walk runs within the stride.
+func (r *RLEArray) Get(index uint64) uint64 {
+	if index >= r.length {
+		panic(fmt.Sprintf("encoding: index %d out of range [0,%d)", index, r.length))
+	}
+	run, _ := r.seekRun(index)
+	return r.values.Get(run)
+}
+
+// DecodeInto materializes the whole array into out (which must have
+// Length() elements) with one linear walk over the runs — O(n + runs)
+// instead of Decode-via-Get's per-element binary search.
+func (r *RLEArray) DecodeInto(out []uint64) {
+	pos := 0
+	for run := uint64(0); run < r.runs; run++ {
+		v := r.values.Get(run)
+		n := r.lengths.Get(run)
+		for end := pos + int(n); pos < end; pos++ {
+			out[pos] = v
+		}
 	}
 }
 
@@ -265,34 +307,86 @@ func (r *RLEArray) PayloadBytes() uint64 {
 	return r.values.PayloadBytes() + r.lengths.PayloadBytes() + uint64(len(r.index))*8
 }
 
-// Decode materializes any encoding back to a plain slice.
+// BulkDecoder is implemented by encodings with a decode path cheaper than
+// per-element Get (RLE's linear run walk). Decode prefers it.
+type BulkDecoder interface {
+	DecodeInto(out []uint64)
+}
+
+// Decode materializes any encoding back to a plain slice. It routes
+// through the cheapest decode the encoding offers: a bulk decoder if one
+// is implemented, then chunk-granular decode for ChunkCodecs, then
+// per-element Get as the last resort.
 func Decode(e Encoded) []uint64 {
 	out := make([]uint64, e.Length())
-	for i := range out {
-		out[i] = e.Get(uint64(i))
-	}
+	DecodeSlice(e, out)
 	return out
 }
 
-// Select builds all candidate encodings of values and returns the one
-// with the smallest payload — the paper's envisioned dynamic selection of
-// the compression technique (§4.2, §7). The baseline plain encoding is
-// returned only if nothing beats it.
+// DecodeSlice is Decode into a caller-provided slice of Length() elements.
+func DecodeSlice(e Encoded, out []uint64) {
+	n := e.Length()
+	switch d := e.(type) {
+	case *PlainArray:
+		copy(out, d.values)
+	case BulkDecoder:
+		d.DecodeInto(out)
+	case ChunkCodec:
+		var buf [bitpack.ChunkSize]uint64
+		chunks := n / bitpack.ChunkSize
+		for c := uint64(0); c < chunks; c++ {
+			d.DecodeChunk(c, &buf)
+			copy(out[c*bitpack.ChunkSize:], buf[:])
+		}
+		if tail := chunks * bitpack.ChunkSize; tail < n {
+			d.DecodeChunk(chunks, &buf)
+			copy(out[tail:n], buf[:n-tail])
+		}
+	default:
+		for i := uint64(0); i < n; i++ {
+			out[i] = e.Get(i)
+		}
+	}
+}
+
+// Build constructs the requested encoding of values.
+func Build(kind Kind, values []uint64) (Encoded, error) {
+	switch kind {
+	case Plain:
+		return NewPlain(values), nil
+	case BitPacked:
+		return NewBitPacked(values), nil
+	case Dict:
+		return NewDict(values), nil
+	case RLE:
+		return NewRLE(values), nil
+	case Delta:
+		return NewDelta(values), nil
+	case FoR:
+		return NewFoR(values), nil
+	default:
+		return nil, fmt.Errorf("encoding: unknown kind %v", kind)
+	}
+}
+
+// Select picks the encoding of values with the smallest payload — the
+// paper's envisioned dynamic selection of the compression technique
+// (§4.2, §7) — and constructs only the winner. Payloads are computed
+// exactly from one Analyze pass over the input (min bits, distinct count,
+// run count, delta widths), so selection no longer materializes every
+// candidate at full size. The baseline plain encoding wins only if
+// nothing beats it; ties go to the earlier candidate in Kinds order.
 func Select(values []uint64) (Encoded, error) {
 	if len(values) == 0 {
 		return nil, errors.New("encoding: empty input")
 	}
-	candidates := []Encoded{
-		NewPlain(values),
-		NewBitPacked(values),
-		NewDict(values),
-		NewRLE(values),
-	}
-	best := candidates[0]
-	for _, c := range candidates[1:] {
-		if c.PayloadBytes() < best.PayloadBytes() {
-			best = c
+	stats := Analyze(values)
+	best := Kinds[0]
+	bestBytes := EstimatePayloadBytes(best, stats)
+	for _, k := range Kinds[1:] {
+		if b := EstimatePayloadBytes(k, stats); b < bestBytes {
+			best, bestBytes = k, b
 		}
 	}
-	return best, nil
+	return Build(best, values)
 }

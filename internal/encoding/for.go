@@ -1,0 +1,159 @@
+package encoding
+
+import (
+	"smartarrays/internal/bitpack"
+)
+
+// FoRArray is frame-of-reference encoding: one reference value (the
+// minimum) plus bit-packed residuals at the width of the value *range*.
+// Narrow ranges far from zero — timestamps, surrogate keys, sensor
+// baselines — pack at MinBits(max-min) instead of MinBits(max). Every
+// fold delegates to the fused bitpack kernels over the residuals plus
+// reference algebra, and predicates rewrite their thresholds into
+// residual space so comparisons never decode.
+type FoRArray struct {
+	ref    uint64
+	resid  *BitPackedArray
+	length uint64
+}
+
+// NewFoR builds a frame-of-reference encoding of values.
+func NewFoR(values []uint64) *FoRArray {
+	var ref uint64
+	if len(values) > 0 {
+		ref = values[0]
+		for _, v := range values {
+			if v < ref {
+				ref = v
+			}
+		}
+	}
+	resid := make([]uint64, len(values))
+	for i, v := range values {
+		resid[i] = v - ref
+	}
+	return &FoRArray{ref: ref, resid: NewBitPacked(resid), length: uint64(len(values))}
+}
+
+// Kind identifies the technique.
+func (f *FoRArray) Kind() Kind { return FoR }
+
+// Length is the element count.
+func (f *FoRArray) Length() uint64 { return f.length }
+
+// Ref is the reference value (the minimum).
+func (f *FoRArray) Ref() uint64 { return f.ref }
+
+// Bits is the residual width.
+func (f *FoRArray) Bits() uint { return f.resid.Bits() }
+
+// Get returns the element at index.
+func (f *FoRArray) Get(index uint64) uint64 {
+	if index >= f.length {
+		panic("encoding: for index out of range")
+	}
+	return f.ref + f.resid.Get(index)
+}
+
+// PayloadBytes is the residual payload (the reference rides in the
+// header, like the codec width).
+func (f *FoRArray) PayloadBytes() uint64 { return f.resid.PayloadBytes() }
+
+// DecodeChunk materializes chunk's 64 elements into out.
+func (f *FoRArray) DecodeChunk(chunk uint64, out *[bitpack.ChunkSize]uint64) {
+	f.resid.DecodeChunk(chunk, out)
+	for i := range out {
+		out[i] += f.ref
+	}
+}
+
+// SumChunks folds chunks [chunkLo, chunkHi) into a sum: the residual sum
+// plus ref times the element count (pad residuals are zero, so clamping
+// the count to the array length keeps partial tail chunks exact too).
+func (f *FoRArray) SumChunks(chunkLo, chunkHi uint64) uint64 {
+	lo, hi := chunkSpan(f.length, chunkLo, chunkHi)
+	return f.resid.SumChunks(chunkLo, chunkHi) + f.ref*(hi-lo)
+}
+
+// MinChunks folds chunks [chunkLo, chunkHi) into a minimum.
+func (f *FoRArray) MinChunks(chunkLo, chunkHi uint64) uint64 {
+	if chunkLo >= chunkHi {
+		return ^uint64(0)
+	}
+	return f.ref + f.resid.MinChunks(chunkLo, chunkHi)
+}
+
+// MaxChunks folds chunks [chunkLo, chunkHi) into a maximum.
+func (f *FoRArray) MaxChunks(chunkLo, chunkHi uint64) uint64 {
+	if chunkLo >= chunkHi {
+		return 0
+	}
+	return f.ref + f.resid.MaxChunks(chunkLo, chunkHi)
+}
+
+// rewriteThreshold maps a value-space threshold into residual space.
+// When threshold < ref every element compares greater, so the outcome is
+// constant per operator; otherwise threshold-ref is exact (the fused
+// bitpack kernels already handle thresholds beyond the packed width).
+func (f *FoRArray) rewriteThreshold(op bitpack.Cmp, threshold uint64) (resid uint64, constKnown, constAll bool) {
+	if threshold >= f.ref {
+		return threshold - f.ref, false, false
+	}
+	// Every value >= ref > threshold.
+	switch op {
+	case bitpack.CmpEq, bitpack.CmpLt, bitpack.CmpLe:
+		return 0, true, false
+	default: // Ne, Gt, Ge
+		return 0, true, true
+	}
+}
+
+// CountWhere counts elements matching the predicate, in residual space.
+func (f *FoRArray) CountWhere(chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	t, constKnown, constAll := f.rewriteThreshold(op, threshold)
+	if constKnown {
+		if !constAll {
+			return 0
+		}
+		lo, hi := chunkSpan(f.length, chunkLo, chunkHi)
+		return hi - lo
+	}
+	return f.resid.CountWhere(chunkLo, chunkHi, op, t)
+}
+
+// CmpMaskChunk evaluates the predicate over one chunk into a bitmap, in
+// residual space.
+func (f *FoRArray) CmpMaskChunk(chunk uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	t, constKnown, constAll := f.rewriteThreshold(op, threshold)
+	if constKnown {
+		if !constAll {
+			return 0
+		}
+		return ^uint64(0)
+	}
+	return f.resid.CmpMaskChunk(chunk, op, t)
+}
+
+// SumChunksMasked sums the selected elements: residual masked sum plus
+// ref times the selected count.
+func (f *FoRArray) SumChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	return f.resid.SumChunksMasked(chunkLo, chunkHi, masks) +
+		f.ref*bitpack.PopcountMasks(masks)
+}
+
+// MinChunksMasked folds the selected elements into a minimum (guarding
+// the empty selection so the identity is not offset by ref).
+func (f *FoRArray) MinChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	if bitpack.AllZeroMasks(masks) {
+		return ^uint64(0)
+	}
+	return f.ref + f.resid.MinChunksMasked(chunkLo, chunkHi, masks)
+}
+
+// MaxChunksMasked folds the selected elements into a maximum.
+func (f *FoRArray) MaxChunksMasked(chunkLo, chunkHi uint64, masks []uint64) uint64 {
+	if bitpack.AllZeroMasks(masks) {
+		return 0
+	}
+	return f.ref + f.resid.MaxChunksMasked(chunkLo, chunkHi, masks)
+}

@@ -31,6 +31,11 @@ type AccessProfile struct {
 	Bits      uint   `json:"bits"`
 	Length    uint64 `json:"length"`
 	Placement string `json:"placement"`
+	// Encoding is the array's current representation ("bitpacked" unless
+	// re-encoded); CodeBits the width its decode shifts through. Both
+	// track live re-encodings.
+	Encoding string `json:"encoding,omitempty"`
+	CodeBits uint   `json:"code_bits,omitempty"`
 	// Freed marks arrays whose memory was released; their profile is kept
 	// for post-mortem inspection.
 	Freed bool `json:"freed,omitempty"`
@@ -160,6 +165,20 @@ func (r *ArrayRegistry) SetPlacement(id uint64, placement string) {
 	r.mu.Lock()
 	if p := r.arrays[id]; p != nil {
 		p.Placement = placement
+	}
+	r.mu.Unlock()
+}
+
+// SetEncoding records a live re-encoding: the representation's name and
+// the code width its decode shifts through. Safe on nil / unknown IDs.
+func (r *ArrayRegistry) SetEncoding(id uint64, encoding string, codeBits uint) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	if p := r.arrays[id]; p != nil {
+		p.Encoding = encoding
+		p.CodeBits = codeBits
 	}
 	r.mu.Unlock()
 }

@@ -25,6 +25,10 @@ const (
 	// (DriftEvent payload): the live per-array profile would flip a §6
 	// decision made from the initial one-shot profile.
 	KindDrift Kind = "drift"
+	// KindReencode is a live representation migration (ReencodeEvent
+	// payload): the per-array access profile flipped the codec pick and
+	// the re-encoder swapped the array's encoding in place.
+	KindReencode Kind = "reencode"
 )
 
 // Event is the trace envelope: exactly one payload pointer is set,
@@ -43,6 +47,7 @@ type Event struct {
 	MultiDecision *MultiDecisionEvent `json:"multiDecision,omitempty"`
 	Span          *SpanEvent          `json:"span,omitempty"`
 	Drift         *DriftEvent         `json:"drift,omitempty"`
+	Reencode      *ReencodeEvent      `json:"reencode,omitempty"`
 }
 
 // LoopStats describes one ParallelFor execution: how the dynamic batch
@@ -281,6 +286,39 @@ type DriftEvent struct {
 	// telemetry backed the flip).
 	Folds uint64 `json:"folds"`
 	// Reason explains the live pick (the decision-diagram path taken).
+	Reason string `json:"reason,omitempty"`
+}
+
+// ReencodeEvent is the representation-drift audit record: the live
+// per-array access profile (random share, chunk-decode share, reads per
+// element) re-scored the codec choices through the per-codec cost entries
+// and the measured pattern flipped the pick, so the re-encoder migrated
+// the array. It is the encoding counterpart of DriftEvent for placement.
+type ReencodeEvent struct {
+	// Name identifies the workload; Array the profiled smart array.
+	Name  string `json:"name"`
+	Array string `json:"array,omitempty"`
+	// From/To are the encoding kinds before and after the migration;
+	// FromBits/ToBits the code widths their decode shifts through.
+	From     string `json:"from"`
+	To       string `json:"to"`
+	FromBits uint   `json:"fromBits,omitempty"`
+	ToBits   uint   `json:"toBits,omitempty"`
+	// PredictedFrom/PredictedTo are the modeled instructions per element of
+	// the two representations under the measured access mix.
+	PredictedFrom float64 `json:"predictedFrom,omitempty"`
+	PredictedTo   float64 `json:"predictedTo,omitempty"`
+	// Observed live signals at re-score time.
+	RandomShare      float64 `json:"randomShare"`
+	ChunkDecodeShare float64 `json:"chunkDecodeShare"`
+	Selectivity      float64 `json:"selectivity,omitempty"`
+	ReadsPerElement  float64 `json:"readsPerElement"`
+	// Folds is the profile's fold count at re-score time.
+	Folds uint64 `json:"folds"`
+	// TrafficBytes is the migration's cost: bytes read from the old
+	// representation plus bytes written into the new one.
+	TrafficBytes uint64 `json:"trafficBytes,omitempty"`
+	// Reason explains the flip (which signal dominated the re-score).
 	Reason string `json:"reason,omitempty"`
 }
 

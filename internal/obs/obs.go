@@ -109,6 +109,11 @@ func (r *Recorder) RecordDrift(d DriftEvent) {
 	r.Record(Event{Kind: KindDrift, Drift: &d})
 }
 
+// RecordReencode records a live representation-migration audit event.
+func (r *Recorder) RecordReencode(e ReencodeEvent) {
+	r.Record(Event{Kind: KindReencode, Reencode: &e})
+}
+
 // RecordCounters records a counter-fabric snapshot.
 func (r *Recorder) RecordCounters(label string, socks []SocketCounters) {
 	r.Record(Event{Kind: KindCounters, Counters: &CountersEvent{Label: label, Sockets: socks}})
