@@ -53,7 +53,7 @@ fuzz-smoke:
 # "perf-intentional" PR label in CI), or regenerate the baseline with
 # `make bench-baseline` when the change is intentional.
 bench-smoke:
-	$(GO) run ./cmd/sabench -fig 2 -kernels -elements 65536 -metrics-out bench_report.json
+	$(GO) run ./cmd/sabench -fig 2 -kernels -codecs -elements 65536 -metrics-out bench_report.json
 	$(GO) run ./cmd/sagate -baseline bench_baseline.json -current bench_report.json -max-regress-pct $(MAX_REGRESS)
 
 bench-baseline:

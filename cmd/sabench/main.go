@@ -91,6 +91,9 @@ func main() {
 		codecRows, err := bench.RunCodecKernels(opts)
 		exitOn(err)
 		rows = append(rows, codecRows...)
+		pruneRows, err := bench.RunPruningKernels(opts)
+		exitOn(err)
+		rows = append(rows, pruneRows...)
 		bench.PrintKernelTable(os.Stdout, rows)
 		if report != nil {
 			krep := bench.KernelBenchReport(tool, rows)
@@ -103,6 +106,7 @@ func main() {
 
 	if *codecs {
 		bench.PrintCodecScanTable(os.Stdout, bench.MeasureCodecScans(0, 0))
+		bench.PrintPrunedScanTable(os.Stdout, bench.MeasurePrunedScans(0, 0))
 	}
 
 	if of.MetricsOut != "" {

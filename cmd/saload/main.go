@@ -41,6 +41,7 @@ func main() {
 	max5xx := flag.Int("max-5xx", -1, "gate: max allowed 5xx responses (negative = no gate)")
 	minQPS := flag.Float64("min-qps", 0, "gate: min successful queries/sec (0 = no gate)")
 	maxP99 := flag.Float64("max-p99-ms", 0, "gate: max client-side p99 in ms (0 = no gate)")
+	minCacheHits := flag.Uint64("min-cache-hits", 0, "gate: min server-side result-cache hits over the run (0 = no gate)")
 	flag.Parse()
 
 	if *spot {
@@ -89,6 +90,9 @@ func main() {
 	}
 	if *maxP99 > 0 {
 		gate(rep.P99MS <= *maxP99, "p99 %.2f ms above bound %.2f ms", rep.P99MS, *maxP99)
+	}
+	if *minCacheHits > 0 {
+		gate(rep.CacheHits >= *minCacheHits, "%d cache hits below floor %d", rep.CacheHits, *minCacheHits)
 	}
 	if failed {
 		os.Exit(1)

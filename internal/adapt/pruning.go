@@ -1,0 +1,72 @@
+package adapt
+
+import (
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/obs"
+	"smartarrays/internal/perfmodel"
+)
+
+// Pruning-aware plan scoring: given an array's representation summary and
+// a predicate's observed selectivity, price a predicated scan (selection
+// bitmap plus masked fold) with and without a chunk zone index. The
+// planner layers (colstore predicate ordering, future re-scorers) use the
+// gain to decide whether building or consulting the index pays off —
+// the zone-map counterpart of the codec re-scoring in reencoder.go.
+
+// PruningScore is the modeled per-element cost of one predicated scan.
+type PruningScore struct {
+	// Unpruned is mask build plus masked fold with no zone index.
+	Unpruned float64
+	// Pruned is the zone-consulted equivalent.
+	Pruned float64
+	// Gain is Unpruned / Pruned — >1 means pruning wins.
+	Gain float64
+}
+
+// ScorePruning prices a predicated scan over a representation summarized
+// by cs. sel is the predicate's selectivity (matching share). clustering
+// in [0, 1] is how concentrated the matches are: 1 means sorted or
+// perfectly clustered values (the zone index resolves every chunk outside
+// the match boundary), 0 means matches scattered uniformly (nothing
+// resolves).
+func ScorePruning(cs encoding.CostStats, sel, clustering float64) PruningScore {
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	if clustering < 0 {
+		clustering = 0
+	}
+	if clustering > 1 {
+		clustering = 1
+	}
+	// Resolved chunks split into proven-empty and proven-full shares;
+	// the fold still visits every chunk with any live mask bit.
+	noneShare := (1 - sel) * clustering
+	allShare := sel * clustering
+	foldShare := 1 - noneShare
+
+	unpruned := perfmodel.CostEncodedMask(cs) + foldShare*perfmodel.CostEncodedMaskedReduce(cs)
+	pruned := perfmodel.CostEncodedPrunedMask(cs, noneShare+allShare) +
+		perfmodel.CostEncodedPrunedMaskedReduce(cs, foldShare)
+	s := PruningScore{Unpruned: unpruned, Pruned: pruned}
+	if pruned > 0 {
+		s.Gain = unpruned / pruned
+	}
+	return s
+}
+
+// ScorePruningProfile is ScorePruning fed from a live access profile: the
+// observed predicate selectivity (neutral 1.0 when the profile has no
+// predicate observations yet, which prices pruning as pure overhead).
+func ScorePruningProfile(p *obs.AccessProfile, cs encoding.CostStats, clustering float64) PruningScore {
+	sel := 1.0
+	if p != nil {
+		if s, ok := p.Selectivity(); ok {
+			sel = s
+		}
+	}
+	return ScorePruning(cs, sel, clustering)
+}

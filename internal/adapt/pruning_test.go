@@ -1,0 +1,65 @@
+package adapt
+
+import (
+	"testing"
+
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/obs"
+)
+
+func bitpacked16() encoding.CostStats {
+	return encoding.CostStats{Kind: encoding.BitPacked, CodeBits: 16, PayloadBitsPerElem: 16}
+}
+
+// TestScorePruningClusteredSelective pins the headline case: a selective
+// predicate over clustered data should model an order-of-magnitude win.
+func TestScorePruningClusteredSelective(t *testing.T) {
+	s := ScorePruning(bitpacked16(), 0.05, 1.0)
+	if s.Gain < 10 {
+		t.Fatalf("clustered 5%% selectivity: gain %.2f, want >= 10", s.Gain)
+	}
+	if s.Pruned >= s.Unpruned {
+		t.Fatalf("pruned %.3f not cheaper than unpruned %.3f", s.Pruned, s.Unpruned)
+	}
+}
+
+// TestScorePruningUniformNearNeutral pins the other end: with no
+// clustering the index resolves nothing and pruning costs only the zone
+// check (a few percent, never a blowup).
+func TestScorePruningUniformNearNeutral(t *testing.T) {
+	s := ScorePruning(bitpacked16(), 0.05, 0.0)
+	if s.Gain > 1.01 || s.Gain < 0.9 {
+		t.Fatalf("uniform data: gain %.3f, want ~1 (pure zone-check overhead)", s.Gain)
+	}
+}
+
+// TestScorePruningMonotonicInClustering checks more clustering never
+// makes pruning look worse.
+func TestScorePruningMonotonicInClustering(t *testing.T) {
+	cs := bitpacked16()
+	prev := -1.0
+	for _, cl := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		g := ScorePruning(cs, 0.1, cl).Gain
+		if g < prev {
+			t.Fatalf("gain decreased with clustering: %.3f after %.3f at cl=%.2f", g, prev, cl)
+		}
+		prev = g
+	}
+}
+
+// TestScorePruningProfileFallback: with no predicate observations the
+// profile-driven score falls back to sel=1. On unclustered data that is
+// pure zone-check overhead (no claimed win); on clustered data an
+// all-match predicate still halves the work (the mask build is skipped),
+// so the gain is bounded by ~2, never the selective-scan blowup.
+func TestScorePruningProfileFallback(t *testing.T) {
+	s := ScorePruningProfile(nil, bitpacked16(), 0.0)
+	if s.Gain > 1.0 {
+		t.Fatalf("unobserved profile, uniform data: gain %.3f, want <= 1", s.Gain)
+	}
+	var p obs.AccessProfile
+	s2 := ScorePruningProfile(&p, bitpacked16(), 5.0) // clustering clamped to 1
+	if s2.Gain > 2.1 {
+		t.Fatalf("empty profile, clustered: gain %.3f, want <= ~2 (mask skip only)", s2.Gain)
+	}
+}

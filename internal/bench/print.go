@@ -197,6 +197,20 @@ func PrintCodecScanTable(w io.Writer, rows []CodecScanRow) {
 	tw.Flush()
 }
 
+// PrintPrunedScanTable writes the measured zone-map pruning rows (the
+// EXPERIMENTS.md sorted-vs-uniform selectivity sweep evidence).
+func PrintPrunedScanTable(w io.Writer, rows []PrunedScanRow) {
+	fmt.Fprintln(w, "Zone-map pruned scans (measured wall-clock, mask build + masked sum)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsel(%)\tzones none/all(%)\tsupers(%)\tunpruned ns/elem\tpruned ns/elem\tspeedup\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f/%.1f\t%.1f\t%.3f\t%.3f\t%.1fx\t%v\n",
+			r.Dataset, r.SelectivityPct, r.NonePct, r.AllPct, r.SuperPct,
+			r.UnprunedNs, r.PrunedNs, r.Speedup, r.Verified)
+	}
+	tw.Flush()
+}
+
 // PrintReencodeReport writes the live re-encoding run summary.
 func PrintReencodeReport(w io.Writer, rep ReencodeReport) {
 	fmt.Fprintln(w, "Live re-encoding: representation drift under a shifting access mix")

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/core"
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/perfmodel"
+	"smartarrays/internal/rts"
+)
+
+// Zone-map pruning benchmark: selective scans with and without the
+// per-chunk min/max index. Two surfaces, mirroring the codec benchmark:
+//
+//   - RunPruningKernels really runs the pruned and unpruned selective
+//     scan (mask build + masked fold) on a live array, verifies them
+//     bit-identical, measures the exact share of chunks the index
+//     resolved, and models the paper-scale cells from those shares. The
+//     rows gate: pruning must stay an order of magnitude ahead on sorted
+//     data and must never regress on uniform data.
+//   - MeasurePrunedScans wall-clock-times the same scan pair across a
+//     selectivity sweep — the measured evidence behind the EXPERIMENTS.md
+//     zone-map table. Timing rows are printed, never gated.
+
+// pruningBenchBits is the native width of the pruning benchmark columns.
+const pruningBenchBits = 16
+
+// pruningDataset describes one value distribution for the pruning sweep.
+type pruningDataset struct {
+	name   string
+	sorted bool
+}
+
+var pruningDatasets = []pruningDataset{
+	{name: "sorted", sorted: true},
+	{name: "uniform", sorted: false},
+}
+
+// value is the dataset's value function: a monotone ramp covering the
+// full domain (sorted — every selectivity is a prefix, so the zone index
+// resolves almost every chunk at any scale), or per-element hashes
+// (uniform — every chunk spans nearly the whole domain, so nothing
+// resolves). The paper's initFormula is deliberately not the uniform
+// case here: its values are locally sequential (v ≈ i & mask), which
+// makes every chunk's min/max range tight — the best case for zone maps,
+// not the adversarial one this benchmark needs.
+func (d pruningDataset) value(i, n, mask uint64) uint64 {
+	if d.sorted {
+		return i * (mask + 1) / n
+	}
+	h := i*6364136223846793005 + 1442695040888963407
+	h ^= h >> 31
+	return h & mask
+}
+
+// pruningThreshold selects ~5% of the sorted ramp (and, because the
+// uniform formula covers the same domain evenly, ~5% of uniform data
+// too) — the clustered-selective regime the zone index is built for.
+func pruningThreshold(mask uint64) uint64 { return mask / 20 }
+
+// zonePassShare converts the zone index's own memory traffic into
+// payload-pass units: the coarse super level is always read (16 bytes
+// per ZoneFanout chunks), the fine level only where a super zone failed
+// to resolve.
+func zonePassShare(ps encoding.PruneStats, payloadBytesPerElem float64) float64 {
+	superBytes := 16.0 / float64(encoding.ZoneFanout*bitpack.ChunkSize)
+	chunkBytes := (1 - ps.SuperResolvedShare) * 16.0 / float64(bitpack.ChunkSize)
+	return (superBytes + chunkBytes) / payloadBytesPerElem
+}
+
+// RunPruningKernels executes and models the zone-map pruning cells.
+func RunPruningKernels(opts Options) ([]KernelResult, error) {
+	spec := machine.X52Large()
+	rt := rts.New(spec)
+	opts.instrument(rt)
+
+	var rows []KernelResult
+	for _, d := range pruningDatasets {
+		a, err := core.Allocate(rt.Memory(), core.Config{
+			Length: opts.Elements, Bits: pruningBenchBits, Placement: memsim.Interleaved,
+			Name: "prune-" + d.name,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mask := a.Codec().Mask()
+		thr := pruningThreshold(mask)
+		var refSum uint64
+		for i := uint64(0); i < opts.Elements; i++ {
+			v := d.value(i, opts.Elements, mask)
+			a.Init(0, i, v)
+			if v <= thr {
+				refSum += v
+			}
+		}
+
+		// The full selective scan: per-batch mask build plus masked fold,
+		// exactly what colstore.Aggregate runs per predicate.
+		scan := func() uint64 {
+			return rt.ReduceSum(0, opts.Elements, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+				a.AccountReduce(w.Counters, lo, hi)
+				_, nc := core.MaskChunks(lo, hi)
+				masks := make([]uint64, nc)
+				core.MaskRange(a, w.Socket, lo, hi, bitpack.CmpLe, thr, masks)
+				return core.ReduceRangeMasked(a, w.Socket, lo, hi, core.ReduceSum, masks)
+			})
+		}
+
+		unpruned := scan() // no index yet: the plain path
+		z := a.BuildZoneIndex()
+		if z == nil {
+			a.Free()
+			return nil, fmt.Errorf("bench: zone index build failed for %s", d.name)
+		}
+		pruned := scan()
+		verified := unpruned == refSum && pruned == refSum
+		if opts.Verify && !verified {
+			a.Free()
+			return nil, fmt.Errorf("bench: pruned scan mismatch on %s: unpruned %d, pruned %d, want %d",
+				d.name, unpruned, pruned, refSum)
+		}
+
+		// Model the paper-scale pair from the measured resolution shares.
+		ps := z.PruneStatsFor(bitpack.CmpLe, thr)
+		resolved := ps.NoneShare + ps.AllShare
+		foldShare := 1 - ps.NoneShare
+		mixedShare := 1 - resolved
+		payloadBytesPerElem := float64(pruningBenchBits) / 8
+
+		unprunedInstr := perfmodel.CostMask(pruningBenchBits) +
+			foldShare*perfmodel.CostMaskedReduce(pruningBenchBits)
+		unprunedPasses := 1 + foldShare
+		prunedInstr := perfmodel.CostPrunedMask(pruningBenchBits, resolved) +
+			perfmodel.CostPrunedMaskedReduce(pruningBenchBits, foldShare)
+		prunedPasses := mixedShare + foldShare + zonePassShare(ps, payloadBytesPerElem)
+
+		rows = append(rows,
+			modelKernel(spec, "zone-sum-unpruned/"+d.name, pruningBenchBits,
+				unprunedInstr, unprunedPasses, verified),
+			modelKernel(spec, "zone-sum-pruned/"+d.name, pruningBenchBits,
+				prunedInstr, prunedPasses, verified),
+		)
+		a.Free()
+	}
+	return rows, nil
+}
+
+// PrunedScanRow is one measured pruned-scan timing cell.
+type PrunedScanRow struct {
+	Dataset string
+	// SelectivityPct is the share of rows the predicate matches.
+	SelectivityPct float64
+	// NonePct/AllPct/SuperPct are the measured zone-resolution shares for
+	// this threshold (chunks proven empty / full, supers resolved).
+	NonePct  float64
+	AllPct   float64
+	SuperPct float64
+	// UnprunedNs/PrunedNs are best-of-reps wall-clock per-element scan
+	// times; Speedup is their ratio.
+	UnprunedNs float64
+	PrunedNs   float64
+	Speedup    float64
+	// Verified reports both scans matched the plain reference sum.
+	Verified bool
+}
+
+// MeasurePrunedScans times the full selective scan (mask build + masked
+// sum) with and without the zone index across a selectivity sweep on
+// sorted and uniform data. elements is rounded down to a whole number of
+// chunks (default 1<<22); reps is the number of timed passes, best taken
+// (default 5).
+func MeasurePrunedScans(elements uint64, reps int) []PrunedScanRow {
+	if elements == 0 {
+		elements = 1 << 22
+	}
+	elements &^= bitpack.ChunkSize - 1
+	if reps <= 0 {
+		reps = 5
+	}
+	selectivities := []float64{1, 5, 20}
+
+	mem := memsim.New(machine.X52Large())
+	var rows []PrunedScanRow
+	for _, d := range pruningDatasets {
+		a, err := core.Allocate(mem, core.Config{
+			Length: elements, Bits: pruningBenchBits, Placement: memsim.Interleaved,
+		})
+		if err != nil {
+			continue
+		}
+		mask := a.Codec().Mask()
+		values := make([]uint64, elements)
+		for i := uint64(0); i < elements; i++ {
+			v := d.value(i, elements, mask)
+			values[i] = v
+			a.Init(0, i, v)
+		}
+		_, nc := core.MaskChunks(0, elements)
+		masks := make([]uint64, nc)
+
+		time2 := func(thr uint64) (float64, uint64) {
+			scan := func() uint64 {
+				core.MaskRange(a, 0, 0, elements, bitpack.CmpLe, thr, masks)
+				return core.ReduceRangeMasked(a, 0, 0, elements, core.ReduceSum, masks)
+			}
+			scan() // warm caches
+			best := time.Duration(1<<63 - 1)
+			var sum uint64
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				sum = scan()
+				if el := time.Since(start); el < best {
+					best = el
+				}
+			}
+			return float64(best.Nanoseconds()) / float64(elements), sum
+		}
+
+		// The index cannot be detached once built, so the unpruned sweep
+		// runs first for every threshold, then the pruned one.
+		type cell struct {
+			thr uint64
+			ref uint64
+			ns  float64
+			sum uint64
+			sel float64
+		}
+		var cells []cell
+		for _, pct := range selectivities {
+			thr := uint64(float64(mask+1)*pct/100) - 1
+			var ref uint64
+			var matched uint64
+			for _, v := range values {
+				if v <= thr {
+					ref += v
+					matched++
+				}
+			}
+			ns, sum := time2(thr)
+			cells = append(cells, cell{thr: thr, ref: ref, ns: ns, sum: sum,
+				sel: 100 * float64(matched) / float64(elements)})
+		}
+		z := a.BuildZoneIndex()
+		for _, c := range cells {
+			ns, sum := time2(c.thr)
+			ps := z.PruneStatsFor(bitpack.CmpLe, c.thr)
+			row := PrunedScanRow{
+				Dataset:        d.name,
+				SelectivityPct: c.sel,
+				NonePct:        100 * ps.NoneShare,
+				AllPct:         100 * ps.AllShare,
+				SuperPct:       100 * ps.SuperResolvedShare,
+				UnprunedNs:     c.ns,
+				PrunedNs:       ns,
+				Verified:       c.sum == c.ref && sum == c.ref,
+			}
+			if ns > 0 {
+				row.Speedup = c.ns / ns
+			}
+			rows = append(rows, row)
+		}
+		a.Free()
+	}
+	return rows
+}

@@ -22,6 +22,7 @@ import (
 	"smartarrays/internal/core"
 	"smartarrays/internal/encoding"
 	"smartarrays/internal/memsim"
+	"smartarrays/internal/perfmodel"
 	"smartarrays/internal/rts"
 )
 
@@ -40,6 +41,12 @@ type Table struct {
 	rows    uint64
 	columns []*Column
 	byName  map[string]*Column
+	// scratch holds one mask buffer per worker, reused across Aggregate
+	// and GroupBy calls so the bitmap pipeline stops re-growing per-call
+	// slices. Slot i is touched only by worker i, which executes its
+	// batches serially (also across concurrent scheduled loops), so no
+	// locking is needed; WithRuntime views share the backing array.
+	scratch [][]uint64
 }
 
 // Options configure column storage.
@@ -61,7 +68,12 @@ func NewTable(rt *rts.Runtime, rows uint64) (*Table, error) {
 	if rows == 0 {
 		return nil, errors.New("colstore: zero rows")
 	}
-	return &Table{rt: rt, rows: rows, byName: map[string]*Column{}}, nil
+	return &Table{
+		rt:      rt,
+		rows:    rows,
+		byName:  map[string]*Column{},
+		scratch: make([][]uint64, len(rt.Workers())),
+	}, nil
 }
 
 // Free releases every column.
@@ -146,6 +158,10 @@ func (t *Table) AddColumn(name string, values []uint64, opts Options) (*Column, 
 			}
 		}
 	}
+	// Every table column carries a zone index: scans prune resolved
+	// chunks, and Reencode keeps the index fresh across representation
+	// changes for free.
+	arr.BuildZoneIndex()
 	col := &Column{Name: name, arr: arr}
 	t.columns = append(t.columns, col)
 	t.byName[name] = col
@@ -313,15 +329,66 @@ func maskScratch(slot *[]uint64, n uint64) []uint64 {
 	return (*slot)[:n]
 }
 
+// orderPreds returns the predicate evaluation order for a conjunction:
+// cheapest-most-selective first, scored as (observed selectivity from the
+// column's access profile, neutral 1.0 when unobserved) times the modeled
+// per-element mask cost of its representation. AND is commutative, so
+// reordering never changes the result — only how early chunks go dead and
+// short-circuit the remaining predicates. The sort is stable: with no
+// telemetry every score ties and the caller's order stands.
+func orderPreds(predCols []*Column, preds []Pred) ([]*Column, []Pred) {
+	if len(preds) < 2 {
+		return predCols, preds
+	}
+	idx := make([]int, len(preds))
+	score := make([]float64, len(preds))
+	for i := range preds {
+		idx[i] = i
+		sel := 1.0
+		if s, ok := predCols[i].arr.ObservedSelectivity(); ok {
+			sel = s
+		}
+		// The additive floor keeps a "perfectly selective so far" predicate
+		// from looking free and starving cheaper columns of the lead.
+		score[i] = (0.05 + sel) * perfmodel.CostEncodedMask(predCols[i].arr.EncodingStats())
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return score[idx[a]] < score[idx[b]] })
+	oc := make([]*Column, len(preds))
+	op := make([]Pred, len(preds))
+	for j, i := range idx {
+		oc[j], op[j] = predCols[i], preds[i]
+	}
+	return oc, op
+}
+
 // buildMasks fills masks with the selection bitmap of the predicate
 // conjunction over rows [lo, hi) and reports whether any row survives.
 // The first predicate overwrites, later ones AND in with already-dead
 // chunks skipped, so low-selectivity leading predicates short-circuit the
-// rest of the pipeline.
-func buildMasks(socket int, lo, hi uint64, predCols []*Column, preds []Pred, masks []uint64) bool {
-	live := core.MaskRange(predCols[0].arr, socket, lo, hi, preds[0].Op.cmp(), preds[0].Value, masks)
+// rest of the pipeline. Each predicate pass feeds the column's observed
+// selectivity (evaluated candidates vs surviving rows) back into its
+// access profile — the signal orderPreds consumes — at the cost of one
+// mask popcount per predicate, and only when telemetry is attached.
+func buildMasks(w *rts.Worker, lo, hi uint64, predCols []*Column, preds []Pred, masks []uint64) bool {
+	live := core.MaskRange(predCols[0].arr, w.Socket, lo, hi, preds[0].Op.cmp(), preds[0].Value, masks)
+	var prevHits uint64
+	prevKnown := predCols[0].arr.TelemetryID() != 0
+	if prevKnown {
+		prevHits = bitpack.PopcountMasks(masks)
+		predCols[0].arr.AccountPredicate(w.Counters, hi-lo, prevHits)
+	}
 	for i := 1; i < len(preds) && live; i++ {
-		live = core.MaskRangeAnd(predCols[i].arr, socket, lo, hi, preds[i].Op.cmp(), preds[i].Value, masks)
+		tele := predCols[i].arr.TelemetryID() != 0
+		if tele && !prevKnown {
+			prevHits = bitpack.PopcountMasks(masks)
+		}
+		live = core.MaskRangeAnd(predCols[i].arr, w.Socket, lo, hi, preds[i].Op.cmp(), preds[i].Value, masks)
+		if tele {
+			hits := bitpack.PopcountMasks(masks)
+			predCols[i].arr.AccountPredicate(w.Counters, prevHits, hits)
+			prevHits = hits
+		}
+		prevKnown = tele
 	}
 	return live
 }
@@ -356,6 +423,14 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 				return core.ReduceRange(target.arr, w.Socket, lo, hi, core.ReduceSum)
 			}), nil
 		case Min, Max:
+			// Trivial min/max read straight off the zone index root — the
+			// bounds are exact, so no scan at all.
+			if mn, mx, ok := target.arr.ZoneBounds(); ok {
+				if agg == Min {
+					return mn, nil
+				}
+				return mx, nil
+			}
 			op := core.ReduceMax
 			if agg == Min {
 				op = core.ReduceMin
@@ -371,17 +446,17 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 		}), nil
 	}
 
-	// Selection-bitmap path.
+	// Selection-bitmap path, cheapest-most-selective predicate first.
+	predCols, preds = orderPreds(predCols, preds)
 	workers := t.rt.Workers()
 	locals := make([]aggState, len(workers))
 	for i := range locals {
 		locals[i] = newAggState(agg)
 	}
-	scratch := make([][]uint64, len(workers))
 	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
 		_, n := core.MaskChunks(lo, hi)
-		masks := maskScratch(&scratch[w.ID], n)
-		if !buildMasks(w.Socket, lo, hi, predCols, preds, masks) {
+		masks := maskScratch(&t.scratch[w.ID], n)
+		if !buildMasks(w, lo, hi, predCols, preds, masks) {
 			return
 		}
 		local := &locals[w.ID]
@@ -503,6 +578,7 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 	if err != nil {
 		return nil, err
 	}
+	predCols, preds = orderPreds(predCols, preds)
 
 	workers := t.rt.Workers()
 	// Replicas resolved once per worker, not once per claimed batch.
@@ -512,7 +588,6 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 		keyReps[i] = key.arr.GetReplica(w.Socket)
 		targetReps[i] = target.arr.GetReplica(w.Socket)
 	}
-	scratch := make([][]uint64, len(workers))
 
 	// forEachMatch feeds every selected row of a batch to fn: the mask
 	// pipeline when predicates exist, a plain row loop otherwise.
@@ -524,8 +599,8 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 			return
 		}
 		_, n := core.MaskChunks(lo, hi)
-		masks := maskScratch(&scratch[w.ID], n)
-		if !buildMasks(w.Socket, lo, hi, predCols, preds, masks) {
+		masks := maskScratch(&t.scratch[w.ID], n)
+		if !buildMasks(w, lo, hi, predCols, preds, masks) {
 			return
 		}
 		core.ForEachMasked(lo, hi, masks, fn)

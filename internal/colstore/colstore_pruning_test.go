@@ -1,0 +1,217 @@
+package colstore
+
+import (
+	"reflect"
+	"testing"
+
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+	"smartarrays/internal/rts"
+)
+
+// pruningFixture builds a table whose predicate columns are clustered
+// (sorted plateaus with occasional noise) so the zone index resolves a
+// real share of chunks, plus plain-slice shadows for the scalar paths.
+type pruningFixture struct {
+	table *Table
+	key   []uint64
+	val   []uint64
+	band  []uint64
+	tag   []uint64
+}
+
+func newPruningFixture(t *testing.T, rows uint64) *pruningFixture {
+	t.Helper()
+	rt := rts.New(machine.X52Small())
+	table, err := NewTable(rt, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(table.Free)
+	f := &pruningFixture{table: table}
+	f.key = make([]uint64, rows)
+	f.val = make([]uint64, rows)
+	f.band = make([]uint64, rows)
+	f.tag = make([]uint64, rows)
+	for i := uint64(0); i < rows; i++ {
+		f.key[i] = i / 64 % 7 // dense GroupBy path, plateau-aligned
+		f.val[i] = i % 1021
+		f.band[i] = i / 128 % 256 // long sorted plateaus -> zones resolve
+		if i%113 == 0 {
+			x := i*2654435761 + 99
+			f.band[i] = (x ^ x>>11) % 256 // noise: some chunks stay mixed
+		}
+		f.tag[i] = i * 251 % 512 // scattered -> zones resolve little
+	}
+	opts := Options{Placement: memsim.Interleaved}
+	for _, c := range []struct {
+		name string
+		vals []uint64
+	}{{"key", f.key}, {"val", f.val}, {"band", f.band}, {"tag", f.tag}} {
+		if _, err := table.AddColumn(c.name, c.vals, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// pruningQueries is the predicate mix the property tests sweep: zero, one
+// and two conjunctive predicates, with thresholds that produce all-match,
+// no-match and mixed zone verdicts on the clustered column.
+func pruningQueries() [][]Pred {
+	return [][]Pred{
+		nil,
+		{{Column: "band", Op: Lt, Value: 40}},
+		{{Column: "band", Op: Ge, Value: 255}},
+		{{Column: "band", Op: Le, Value: 999}},  // all rows match
+		{{Column: "band", Op: Gt, Value: 1000}}, // no rows match
+		{{Column: "band", Op: Eq, Value: 17}},
+		{{Column: "band", Op: Lt, Value: 64}, {Column: "tag", Op: Ne, Value: 100}},
+		{{Column: "tag", Op: Lt, Value: 256}, {Column: "band", Op: Ge, Value: 128}},
+	}
+}
+
+// TestPrunedAggregateMatchesScalar checks that the zone-pruned bitmap
+// Aggregate stays bit-identical to the per-row scalar reference across
+// every codec, before and after re-encoding the predicate and target
+// columns.
+func TestPrunedAggregateMatchesScalar(t *testing.T) {
+	const rows = 4517 // ragged tail chunk, multiple super zones
+	aggs := []Agg{Sum, Count, Min, Max}
+
+	check := func(f *pruningFixture, stage string) {
+		t.Helper()
+		for _, agg := range aggs {
+			for qi, preds := range pruningQueries() {
+				got, err := f.table.Aggregate(agg, "val", preds...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := f.table.aggregateScalar(agg, "val", preds...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s: agg %v query %d: pruned %d, want %d", stage, agg, qi, got, want)
+				}
+			}
+		}
+	}
+
+	for _, kind := range append([]encoding.Kind{encoding.BitPacked}, encoding.Kinds...) {
+		f := newPruningFixture(t, rows)
+		check(f, "before reencode "+kind.String())
+		for _, col := range []string{"band", "tag", "val"} {
+			if _, err := f.table.ReencodeColumn(col, kind, 0); err != nil {
+				t.Fatalf("ReencodeColumn(%s, %v): %v", col, kind, err)
+			}
+		}
+		check(f, "after reencode "+kind.String())
+	}
+}
+
+// TestPrunedGroupByMatchesScalar is the GroupBy counterpart, and also
+// exercises the shared per-worker mask scratch by running Aggregate and
+// GroupBy back to back on the same table.
+func TestPrunedGroupByMatchesScalar(t *testing.T) {
+	const rows = 4517
+	for _, kind := range append([]encoding.Kind{encoding.BitPacked}, encoding.Kinds...) {
+		f := newPruningFixture(t, rows)
+		for _, col := range []string{"band", "tag"} {
+			if _, err := f.table.ReencodeColumn(col, kind, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for qi, preds := range pruningQueries() {
+			// Aggregate first so GroupBy reuses (and must correctly
+			// re-slice) the worker scratch left behind by the bitmap path.
+			if _, err := f.table.Aggregate(Sum, "val", preds...); err != nil {
+				t.Fatal(err)
+			}
+			got, err := f.table.GroupBy("key", Sum, "val", preds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := f.table.groupByScalar("key", Sum, "val", preds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v query %d: GroupBy %v, want %v", kind, qi, got, want)
+			}
+		}
+	}
+}
+
+// TestZeroPredMinMaxUsesZoneBounds pins the satellite fast path: with no
+// predicates, Min/Max answer straight off the zone index root without a
+// scan, and the answer matches the scalar fold.
+func TestZeroPredMinMaxUsesZoneBounds(t *testing.T) {
+	f := newPruningFixture(t, 3000)
+	c, err := f.table.Column("band")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.arr.ZoneIndex() == nil {
+		t.Fatal("AddColumn did not build a zone index")
+	}
+	for _, agg := range []Agg{Min, Max} {
+		got, err := f.table.Aggregate(agg, "band")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.table.aggregateScalar(agg, "band")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("zero-pred %v = %d, want %d", agg, got, want)
+		}
+	}
+	mn, mx, ok := c.arr.ZoneBounds()
+	if !ok {
+		t.Fatal("ZoneBounds not available despite index")
+	}
+	gotMin, _ := f.table.Aggregate(Min, "band")
+	gotMax, _ := f.table.Aggregate(Max, "band")
+	if gotMin != mn || gotMax != mx {
+		t.Fatalf("fast path (%d,%d) disagrees with zone root (%d,%d)", gotMin, gotMax, mn, mx)
+	}
+}
+
+// TestOrderPredsKeepsSemantics checks that selectivity-driven predicate
+// reordering never changes results: after telemetry has observed skewed
+// selectivities, a two-predicate query still matches the scalar path and
+// the caller's predicate slice is left untouched.
+func TestOrderPredsKeepsSemantics(t *testing.T) {
+	f := newPruningFixture(t, 4096)
+	// Warm telemetry with queries whose selectivities differ sharply so
+	// orderPreds has something to act on.
+	for i := 0; i < 5; i++ {
+		if _, err := f.table.Aggregate(Count, "val",
+			Pred{Column: "band", Op: Lt, Value: 8},
+			Pred{Column: "tag", Op: Lt, Value: 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds := []Pred{
+		{Column: "tag", Op: Lt, Value: 500},
+		{Column: "band", Op: Lt, Value: 8},
+	}
+	orig := append([]Pred(nil), preds...)
+	got, err := f.table.Aggregate(Count, "val", preds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.table.aggregateScalar(Count, "val", orig...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("reordered count %d, want %d", got, want)
+	}
+	if !reflect.DeepEqual(preds, orig) {
+		t.Fatalf("Aggregate mutated caller predicates: %v != %v", preds, orig)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"smartarrays/internal/bitpack"
+	"smartarrays/internal/encoding"
 )
 
 // Selection-bitmap scans: the predicated counterpart of the fused
@@ -39,11 +40,25 @@ func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresho
 	a.checkRange(lo, hi)
 	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
-	if enc := rp.enc; enc != nil {
+	zones := rp.zones.Load()
+	switch {
+	case zones != nil && rp.enc != nil:
+		enc := rp.enc
+		zoneMaskFill(zones, first, n, op, threshold, masks, func(chunk uint64) uint64 {
+			return enc.CmpMaskChunk(chunk, op, threshold)
+		})
+	case zones != nil:
+		replica := rp.region.Replica(socket)
+		codec := a.codec
+		zoneMaskFill(zones, first, n, op, threshold, masks, func(chunk uint64) uint64 {
+			return codec.CmpMaskChunk(replica, chunk, op, threshold)
+		})
+	case rp.enc != nil:
+		enc := rp.enc
 		for c := uint64(0); c < n; c++ {
 			masks[c] = enc.CmpMaskChunk(first+c, op, threshold)
 		}
-	} else {
+	default:
 		replica := rp.region.Replica(socket)
 		codec := a.codec
 		for c := uint64(0); c < n; c++ {
@@ -73,11 +88,22 @@ func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thre
 	a.checkRange(lo, hi)
 	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
+	zones := rp.zones.Load()
 	var live uint64
 	if enc := rp.enc; enc != nil {
 		for c := uint64(0); c < n; c++ {
 			if masks[c] == 0 {
 				continue
+			}
+			if zones != nil {
+				switch zones.Verdict(first+c, op, threshold) {
+				case encoding.ZoneNone:
+					masks[c] = 0
+					continue
+				case encoding.ZoneAll:
+					live |= masks[c]
+					continue
+				}
 			}
 			masks[c] &= enc.CmpMaskChunk(first+c, op, threshold)
 			live |= masks[c]
@@ -89,6 +115,16 @@ func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thre
 	for c := uint64(0); c < n; c++ {
 		if masks[c] == 0 {
 			continue
+		}
+		if zones != nil {
+			switch zones.Verdict(first+c, op, threshold) {
+			case encoding.ZoneNone:
+				masks[c] = 0
+				continue
+			case encoding.ZoneAll:
+				live |= masks[c]
+				continue
+			}
 		}
 		masks[c] &= codec.CmpMaskChunk(replica, first+c, op, threshold)
 		live |= masks[c]
@@ -111,6 +147,9 @@ func ReduceRangeMasked(a *SmartArray, socket int, lo, hi uint64, op ReduceOp, ma
 	a.checkRange(lo, hi)
 	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
+	if zones := rp.zones.Load(); zones != nil {
+		return reduceMaskedZones(a, rp, socket, first, n, op, masks[:n], zones, identity)
+	}
 	if enc := rp.enc; enc != nil {
 		switch op {
 		case ReduceSum:
@@ -131,6 +170,91 @@ func ReduceRangeMasked(a *SmartArray, socket int, lo, hi uint64, op ReduceOp, ma
 	default:
 		return codec.MinChunksMasked(replica, first, first+n, masks[:n])
 	}
+}
+
+// reduceMaskedZones is ReduceRangeMasked with zone shortcuts: chunks the
+// index proves constant fold in O(1) (value times popcount for sums), a
+// full mask over a non-constant chunk answers min/max from the chunk
+// bounds, and everything else batches into contiguous codec masked-fold
+// spans (dead-mask chunks inside a span are skipped by the kernels as
+// before).
+func reduceMaskedZones(a *SmartArray, rp *repr, socket int, first, n uint64, op ReduceOp, masks []uint64, z *encoding.ZoneIndex, identity uint64) uint64 {
+	acc := identity
+	fold := func(v uint64) {
+		switch op {
+		case ReduceSum:
+			acc += v
+		case ReduceMax:
+			if v > acc {
+				acc = v
+			}
+		default:
+			if v < acc {
+				acc = v
+			}
+		}
+	}
+	var replica []uint64
+	if rp.enc == nil {
+		replica = rp.region.Replica(socket)
+	}
+	foldSpan := func(sLo, sHi uint64) {
+		if sLo >= sHi {
+			return
+		}
+		sub := masks[sLo:sHi]
+		if enc := rp.enc; enc != nil {
+			switch op {
+			case ReduceSum:
+				acc += enc.SumChunksMasked(first+sLo, first+sHi, sub)
+			case ReduceMax:
+				fold(enc.MaxChunksMasked(first+sLo, first+sHi, sub))
+			default:
+				fold(enc.MinChunksMasked(first+sLo, first+sHi, sub))
+			}
+			return
+		}
+		switch op {
+		case ReduceSum:
+			acc += a.codec.SumChunksMasked(replica, first+sLo, first+sHi, sub)
+		case ReduceMax:
+			fold(a.codec.MaxChunksMasked(replica, first+sLo, first+sHi, sub))
+		default:
+			fold(a.codec.MinChunksMasked(replica, first+sLo, first+sHi, sub))
+		}
+	}
+	spanLo := uint64(0)
+	for c := uint64(0); c < n; c++ {
+		m := masks[c]
+		if m == 0 {
+			continue
+		}
+		chunk := first + c
+		if v, isConst := z.Constant(chunk); isConst {
+			foldSpan(spanLo, c)
+			spanLo = c + 1
+			if op == ReduceSum {
+				acc += v * uint64(bits.OnesCount64(m))
+			} else {
+				fold(v)
+			}
+			continue
+		}
+		if op != ReduceSum && m == ^uint64(0) {
+			// A full mask selects the whole (fully valid) chunk: its zone
+			// bounds are the masked min/max.
+			mn, mx := z.ChunkBounds(chunk)
+			foldSpan(spanLo, c)
+			spanLo = c + 1
+			if op == ReduceMax {
+				fold(mx)
+			} else {
+				fold(mn)
+			}
+		}
+	}
+	foldSpan(spanLo, n)
+	return acc
 }
 
 // ForEachMasked calls fn with every selected row index of [lo, hi) in

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smartarrays/internal/bitpack"
+	"smartarrays/internal/encoding"
 )
 
 // Fused reductions: the scan-aggregate hot path (paper Function 4) routed
@@ -80,15 +81,18 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 			}
 		}
 	}
+	zones := rp.zones.Load()
 	if enc := rp.enc; enc != nil {
 		for i := lo; i < headEnd; i++ {
 			fold(enc.Get(i))
 		}
 		if chunkLo < chunkHi {
-			switch op {
-			case ReduceSum:
+			switch {
+			case zones != nil:
+				acc = zoneReduceChunks(zones, chunkLo, chunkHi, op, acc, enc.SumChunks)
+			case op == ReduceSum:
 				acc += enc.SumChunks(chunkLo, chunkHi)
-			case ReduceMax:
+			case op == ReduceMax:
 				fold(enc.MaxChunks(chunkLo, chunkHi))
 			default:
 				fold(enc.MinChunks(chunkLo, chunkHi))
@@ -105,10 +109,14 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 		fold(codec.Get(replica, i))
 	}
 	if chunkLo < chunkHi {
-		switch op {
-		case ReduceSum:
+		switch {
+		case zones != nil:
+			acc = zoneReduceChunks(zones, chunkLo, chunkHi, op, acc, func(s, e uint64) uint64 {
+				return codec.SumChunks(replica, s, e)
+			})
+		case op == ReduceSum:
 			acc += codec.SumChunks(replica, chunkLo, chunkHi)
-		case ReduceMax:
+		case op == ReduceMax:
 			fold(codec.MaxChunks(replica, chunkLo, chunkHi))
 		default:
 			fold(codec.MinChunks(replica, chunkLo, chunkHi))
@@ -118,6 +126,35 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 		fold(codec.Get(replica, i))
 	}
 	return acc
+}
+
+// zoneReduceChunks folds whole chunks [chunkLo, chunkHi) through the zone
+// index: min/max read the per-chunk bounds without touching the payload,
+// sums fold constant chunks in O(1) and batch the rest into contiguous
+// sumChunks spans.
+func zoneReduceChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op ReduceOp, acc uint64, sumChunks func(lo, hi uint64) uint64) uint64 {
+	if op != ReduceSum {
+		for c := chunkLo; c < chunkHi; c++ {
+			mn, mx := z.ChunkBounds(c)
+			if op == ReduceMax {
+				if mx > acc {
+					acc = mx
+				}
+			} else if mn < acc {
+				acc = mn
+			}
+		}
+		return acc
+	}
+	spanLo := chunkLo
+	for c := chunkLo; c < chunkHi; c++ {
+		if v, ok := z.Constant(c); ok {
+			acc += sumChunks(spanLo, c)
+			spanLo = c + 1
+			acc += v * bitpack.ChunkSize
+		}
+	}
+	return acc + sumChunks(spanLo, chunkHi)
 }
 
 // CountRange counts elements v in [lo, hi) satisfying "v op threshold" for
@@ -132,13 +169,20 @@ func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresh
 	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
 
 	var count uint64
+	zones := rp.zones.Load()
 	if enc := rp.enc; enc != nil {
 		for i := lo; i < headEnd; i++ {
 			if op.Eval(enc.Get(i), threshold) {
 				count++
 			}
 		}
-		count += enc.CountWhere(chunkLo, chunkHi, op, threshold)
+		if zones != nil {
+			count += zoneCountChunks(zones, chunkLo, chunkHi, op, threshold, func(s, e uint64) uint64 {
+				return enc.CountWhere(s, e, op, threshold)
+			})
+		} else {
+			count += enc.CountWhere(chunkLo, chunkHi, op, threshold)
+		}
 		for i := tailStart; i < hi; i++ {
 			if op.Eval(enc.Get(i), threshold) {
 				count++
@@ -153,13 +197,40 @@ func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresh
 			count++
 		}
 	}
-	count += codec.CountWhere(replica, chunkLo, chunkHi, op, threshold)
+	if zones != nil {
+		count += zoneCountChunks(zones, chunkLo, chunkHi, op, threshold, func(s, e uint64) uint64 {
+			return codec.CountWhere(replica, s, e, op, threshold)
+		})
+	} else {
+		count += codec.CountWhere(replica, chunkLo, chunkHi, op, threshold)
+	}
 	for i := tailStart; i < hi; i++ {
 		if op.Eval(codec.Get(replica, i), threshold) {
 			count++
 		}
 	}
 	return count
+}
+
+// zoneCountChunks counts matches in whole chunks [chunkLo, chunkHi)
+// through the zone index: resolved chunks contribute 0 or ChunkSize
+// matches without touching the payload, and the mixed remainder batches
+// into contiguous countWhere spans.
+func zoneCountChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64, countWhere func(lo, hi uint64) uint64) uint64 {
+	var count uint64
+	spanLo := chunkLo
+	for c := chunkLo; c < chunkHi; c++ {
+		switch z.Verdict(c, op, threshold) {
+		case encoding.ZoneNone:
+			count += countWhere(spanLo, c)
+			spanLo = c + 1
+		case encoding.ZoneAll:
+			count += countWhere(spanLo, c)
+			spanLo = c + 1
+			count += bitpack.ChunkSize
+		}
+	}
+	return count + countWhere(spanLo, chunkHi)
 }
 
 // FoldRange folds an arbitrary accumulator function over [lo, hi) for a

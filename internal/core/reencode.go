@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"smartarrays/internal/encoding"
 	"smartarrays/internal/memsim"
@@ -30,6 +31,11 @@ type repr struct {
 	cost encoding.CostStats
 	// words is the mirror's word count (element→word traffic mapping).
 	words uint64
+	// zones is the optional zone index over this representation's values
+	// (see zonemap.go); nil until BuildZoneIndex. It lives on the snapshot
+	// so a representation swap can never pair stale bounds with new
+	// payload — readers get both or neither from one Load.
+	zones atomic.Pointer[encoding.ZoneIndex]
 }
 
 // kind is the representation's encoding kind; native storage reports
@@ -206,7 +212,13 @@ func (a *SmartArray) Reencode(kind encoding.Kind, socket int) (trafficBytes uint
 		newBytes = region.FootprintBytes()
 	}
 
+	// Rebuild the zone index from the already-decoded values — a free
+	// extra pass — so the new snapshot carries fresh bounds atomically.
+	if old.zones.Load() != nil {
+		next.zones.Store(encoding.NewZoneIndexFromValues(values))
+	}
 	a.rep.Store(next)
+	a.gen.Add(1)
 	old.region.Free()
 	a.reg.SetEncoding(a.id, kind.String(), next.codeBits(a))
 	return oldBytes + newBytes, nil

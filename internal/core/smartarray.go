@@ -71,7 +71,14 @@ type SmartArray struct {
 	// branch to a single integer check.
 	id  uint64
 	reg *obs.ArrayRegistry
+	// gen counts content and representation revisions (Init writes,
+	// Reencode swaps). External caches key on it: any revision makes every
+	// old key unreachable, so stale results can never serve.
+	gen atomic.Uint64
 }
+
+// Generation is the array's revision counter — see the gen field.
+func (a *SmartArray) Generation() uint64 { return a.gen.Load() }
 
 // Allocate creates a smart array per cfg in the given simulated memory.
 func Allocate(mem *memsim.Memory, cfg Config) (*SmartArray, error) {
@@ -209,6 +216,13 @@ func (a *SmartArray) Init(socket int, index, value uint64) {
 	if rp.enc != nil {
 		panic("core: Init on a re-encoded array (re-encoded arrays are read-only)")
 	}
+	// A write invalidates any attached zone index and bumps the revision
+	// counter so result caches keyed on Generation can never serve stale
+	// values.
+	if rp.zones.Load() != nil {
+		rp.zones.Store(nil)
+	}
+	a.gen.Add(1)
 	rp.region.Touch(a.WordOf(index), socket)
 	for _, replica := range rp.region.AllReplicas() {
 		a.codec.Set(replica, index, value)

@@ -108,3 +108,18 @@ func (a *SmartArray) AccountPredicate(sh *counters.Shard, evals, hits uint64) {
 		aa.PredHits += hits
 	}
 }
+
+// ObservedSelectivity reads the array's accumulated predicate selectivity
+// (hits per evaluated element) back out of its access profile. ok is
+// false when telemetry is off or no predicate has been accounted yet —
+// consumers ordering predicates fall back to a neutral estimate.
+func (a *SmartArray) ObservedSelectivity() (sel float64, ok bool) {
+	if a.id == 0 || a.reg == nil {
+		return 0, false
+	}
+	p, ok := a.reg.Profile(a.id)
+	if !ok {
+		return 0, false
+	}
+	return p.Selectivity()
+}

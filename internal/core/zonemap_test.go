@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/memsim"
+)
+
+// zoneTestArray allocates and fills a 12-bit array with a mix of sorted
+// plateaus and noise so every verdict kind occurs.
+func zoneTestArray(t *testing.T, n uint64) (*SmartArray, []uint64) {
+	t.Helper()
+	mem := memsim.New(machine.X52Large())
+	a, err := Allocate(mem, Config{Length: n, Bits: 12, Placement: memsim.Interleaved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		v := i / 16 % 1024
+		if i%97 == 0 {
+			x := i*2654435761 + 12345
+			v = (x ^ x>>13) % 4096
+		}
+		values[i] = v
+		a.Init(0, i, v)
+	}
+	return a, values
+}
+
+// TestZonePrunedPathsMatch checks that every pruned read path returns
+// bit-identical results to the unpruned one, for every codec, operator,
+// and a set of ragged ranges.
+func TestZonePrunedPathsMatch(t *testing.T) {
+	const n = 4517 // ragged tail chunk, multiple super zones of chunks
+	ops := []bitpack.Cmp{bitpack.CmpEq, bitpack.CmpNe, bitpack.CmpLt, bitpack.CmpLe, bitpack.CmpGt, bitpack.CmpGe}
+	ranges := [][2]uint64{{0, n}, {0, 64}, {7, 131}, {100, 101}, {4096, n}, {63, 4481}}
+	thresholds := []uint64{0, 100, 511, 1024, 4095}
+
+	for _, kind := range append([]encoding.Kind{encoding.BitPacked}, encoding.Kinds...) {
+		a, _ := zoneTestArray(t, n)
+		if _, err := a.Reencode(kind, 0); err != nil {
+			t.Fatalf("Reencode(%v): %v", kind, err)
+		}
+		// Reference results from the unpruned paths, before any index.
+		type key struct {
+			op  bitpack.Cmp
+			thr uint64
+			r   int
+		}
+		masksRef := map[key][]uint64{}
+		for _, op := range ops {
+			for _, thr := range thresholds {
+				for ri, r := range ranges {
+					_, nc := MaskChunks(r[0], r[1])
+					m := make([]uint64, nc)
+					MaskRange(a, 0, r[0], r[1], op, thr, m)
+					masksRef[key{op, thr, ri}] = m
+				}
+			}
+		}
+
+		if a.ZoneIndex() != nil {
+			t.Fatalf("%v: unexpected zone index before build", kind)
+		}
+		if z := a.BuildZoneIndex(); z == nil || a.ZoneIndex() != z {
+			t.Fatalf("%v: BuildZoneIndex did not attach", kind)
+		}
+
+		for _, op := range ops {
+			for _, thr := range thresholds {
+				for ri, r := range ranges {
+					want := masksRef[key{op, thr, ri}]
+					_, nc := MaskChunks(r[0], r[1])
+					got := make([]uint64, nc)
+					MaskRange(a, 0, r[0], r[1], op, thr, got)
+					for c := range want {
+						if got[c] != want[c] {
+							t.Fatalf("%v op %v thr %d range %v chunk %d: mask %#x, want %#x",
+								kind, op, thr, r, c, got[c], want[c])
+						}
+					}
+					// MaskRangeAnd over a copy of the reference must equal
+					// want AND want == want.
+					and := append([]uint64(nil), want...)
+					MaskRangeAnd(a, 0, r[0], r[1], op, thr, and)
+					for c := range want {
+						if and[c] != want[c] {
+							t.Fatalf("%v op %v thr %d range %v chunk %d: and-mask %#x, want %#x",
+								kind, op, thr, r, c, and[c], want[c])
+						}
+					}
+					// Masked folds over the reference mask.
+					for _, rop := range []ReduceOp{ReduceSum, ReduceMin, ReduceMax} {
+						zoneGot := ReduceRangeMasked(a, 0, r[0], r[1], rop, got)
+						// Strip the index to compare against the plain path.
+						a.rep.Load().zones.Store(nil)
+						plain := ReduceRangeMasked(a, 0, r[0], r[1], rop, want)
+						a.rep.Load().zones.Store(a.BuildZoneIndex())
+						if zoneGot != plain {
+							t.Fatalf("%v op %v thr %d range %v %v: masked fold %d, want %d",
+								kind, op, thr, r, rop, zoneGot, plain)
+						}
+					}
+					// CountRange with and without the index.
+					zc := CountRange(a, 0, r[0], r[1], op, thr)
+					a.rep.Load().zones.Store(nil)
+					pc := CountRange(a, 0, r[0], r[1], op, thr)
+					a.BuildZoneIndex()
+					if zc != pc {
+						t.Fatalf("%v op %v thr %d range %v: count %d, want %d", kind, op, thr, r, zc, pc)
+					}
+				}
+			}
+		}
+		// Unmasked reductions.
+		for _, r := range ranges {
+			for _, rop := range []ReduceOp{ReduceSum, ReduceMin, ReduceMax} {
+				zv := ReduceRange(a, 0, r[0], r[1], rop)
+				a.rep.Load().zones.Store(nil)
+				pv := ReduceRange(a, 0, r[0], r[1], rop)
+				a.BuildZoneIndex()
+				if zv != pv {
+					t.Fatalf("%v range %v %v: reduce %d, want %d", kind, r, rop, zv, pv)
+				}
+			}
+		}
+		a.Free()
+	}
+}
+
+// TestZoneIndexLifecycle pins the invalidation contract: Init drops the
+// index and bumps the generation, Reencode rebuilds it on the new
+// snapshot, Migrate keeps it.
+func TestZoneIndexLifecycle(t *testing.T) {
+	a, _ := zoneTestArray(t, 1000)
+	defer a.Free()
+
+	g0 := a.Generation()
+	if a.BuildZoneIndex() == nil {
+		t.Fatal("BuildZoneIndex returned nil")
+	}
+	if a.Generation() != g0 {
+		t.Fatalf("BuildZoneIndex changed generation %d -> %d", g0, a.Generation())
+	}
+
+	a.Init(0, 5, 99)
+	if a.ZoneIndex() != nil {
+		t.Fatal("Init did not drop the zone index")
+	}
+	if a.Generation() <= g0 {
+		t.Fatalf("Init did not bump generation (still %d)", a.Generation())
+	}
+
+	z := a.BuildZoneIndex()
+	gInit := a.Generation()
+	if _, err := a.Reencode(encoding.RLE, 0); err != nil {
+		t.Fatal(err)
+	}
+	z2 := a.ZoneIndex()
+	if z2 == nil {
+		t.Fatal("Reencode did not rebuild the zone index")
+	}
+	if z2 == z {
+		t.Fatal("Reencode kept the stale zone index")
+	}
+	if a.Generation() <= gInit {
+		t.Fatal("Reencode did not bump generation")
+	}
+	mn, mx, ok := a.ZoneBounds()
+	wantMn, wantMx := ReduceRange(a, 0, 0, 1000, ReduceMin), ReduceRange(a, 0, 0, 1000, ReduceMax)
+	if !ok || mn != wantMn || mx != wantMx {
+		t.Fatalf("ZoneBounds = (%d,%d,%v), want (%d,%d,true)", mn, mx, ok, wantMn, wantMx)
+	}
+
+	gRe := a.Generation()
+	if _, err := a.Migrate(memsim.SingleSocket, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.ZoneIndex() == nil {
+		t.Fatal("Migrate dropped the zone index (placement does not change values)")
+	}
+	if a.Generation() != gRe {
+		t.Fatal("Migrate changed the generation")
+	}
+}
+
+// TestZoneReencodeWithoutIndex pins that arrays that never built an index
+// stay index-free across Reencode (no surprise build cost).
+func TestZoneReencodeWithoutIndex(t *testing.T) {
+	a, _ := zoneTestArray(t, 256)
+	defer a.Free()
+	if _, err := a.Reencode(encoding.Delta, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.ZoneIndex() != nil {
+		t.Fatal("Reencode built a zone index the array never asked for")
+	}
+}

@@ -1,0 +1,159 @@
+// Result cache for the query service: a bounded LRU over executed query
+// results, keyed on the canonical plan plus every version counter that
+// could change the answer — the catalog snapshot version and, for table
+// queries, the generation of each touched column's smart array. Staleness
+// never needs an explicit invalidation pass: a control-plane swap bumps
+// the snapshot version and a Reencode/Init bumps the array generation, so
+// stale entries simply stop being addressable and age out of the LRU.
+package queryd
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"smartarrays/internal/queryd/plan"
+)
+
+// resultCache is a mutex-guarded LRU. The lock covers only map+list
+// bookkeeping (no execution happens under it); cached results are
+// immutable wire structs shared by reference.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key    string
+	result any
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// get returns the cached result for key, refreshing its LRU position.
+func (c *resultCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// put inserts (or refreshes) key under the given capacity, evicting from
+// the LRU tail. Capacity is passed per call because it lives in the
+// atomically-swapped config snapshot: a shrunk limit takes effect on the
+// next insert without a resize pass.
+func (c *resultCache) put(key string, result any, capacity int) {
+	if capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, result: result})
+	for c.lru.Len() > capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// CacheStats is the /stats wire form of the cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// cacheKey canonicalizes p into a cache key, or reports that the query is
+// uncacheable (unknown columns are left for the executor to reject).
+// Admission metadata (priority, tenant, deadline) is deliberately
+// excluded: it shapes scheduling, never the result. Predicates are sorted
+// because conjunctions commute. Each table column is keyed as
+// name@generation so any representation or content revision makes every
+// dependent entry unreachable.
+func cacheKey(snap *snapshot, ds *Dataset, p *plan.Plan) (string, bool) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d|%s|%s", snap.version, p.Dataset, p.Op)
+	colKey := func(name string) bool {
+		if ds.Table == nil {
+			return false
+		}
+		col, err := ds.Table.Column(name)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(&b, "|%s@%d", name, col.Array().Generation())
+		return true
+	}
+	switch p.Op {
+	case plan.OpAggregate, plan.OpGroupBy:
+		fmt.Fprintf(&b, "|agg%d", int(p.Agg))
+		if !colKey(p.Column) {
+			return "", false
+		}
+		if p.Op == plan.OpGroupBy {
+			b.WriteString("|key")
+			if !colKey(p.Key) {
+				return "", false
+			}
+		}
+		var preds []string
+		for _, pr := range p.Preds {
+			var pb strings.Builder
+			fmt.Fprintf(&pb, "|w:%s@", pr.Column)
+			col, err := ds.Table.Column(pr.Column)
+			if err != nil {
+				return "", false
+			}
+			fmt.Fprintf(&pb, "%d:%d:%d", col.Array().Generation(), int(pr.Op), pr.Value)
+			preds = append(preds, pb.String())
+		}
+		sort.Strings(preds)
+		for _, s := range preds {
+			b.WriteString(s)
+		}
+	case plan.OpPageRank:
+		fmt.Fprintf(&b, "|iters%d", p.Iters)
+	case plan.OpBFS:
+		fmt.Fprintf(&b, "|src%d", p.Source)
+	case plan.OpDegree:
+		// op alone identifies it
+	default:
+		return "", false
+	}
+	return b.String(), true
+}

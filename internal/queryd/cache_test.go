@@ -1,0 +1,171 @@
+package queryd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"smartarrays/internal/encoding"
+)
+
+// TestResultCacheLRU unit-tests the LRU mechanics: bound respected,
+// least-recently-used entry evicted first, counters accurate.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache()
+	c.put("a", 1, 2)
+	c.put("b", 2, 2)
+	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", 3, 2) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries 1 eviction", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 3 hits 1 miss", st)
+	}
+	// Capacity 0 means off: put is a no-op.
+	c2 := newResultCache()
+	c2.put("x", 1, 0)
+	if _, ok := c2.get("x"); ok {
+		t.Fatal("capacity 0 cached an entry")
+	}
+}
+
+// cachedFlag extracts the "cached" field of a /query response envelope
+// (absent means false — the flag is omitempty).
+func cachedFlag(t *testing.T, env map[string]json.RawMessage) bool {
+	t.Helper()
+	raw, ok := env["cached"]
+	if !ok {
+		return false
+	}
+	var b bool
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestQueryCacheHitsRepeatedQueries checks the serving behavior: the
+// first execution misses, the identical repeat hits (bit-identical
+// result, cached flag set, admission skipped), and commuted predicate
+// order hits the same entry.
+func TestQueryCacheHitsRepeatedQueries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 64
+	srv, ts := newTestServer(t, cfg)
+
+	body := map[string]any{
+		"dataset": "demo", "op": "aggregate", "agg": "sum", "column": "amount",
+		"where": []map[string]any{
+			{"column": "flag", "op": "=", "value": 1},
+			{"column": "region", "op": "<", "value": 8},
+		},
+	}
+	status, env1 := postQuery(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, env1["error"])
+	}
+	if cachedFlag(t, env1) {
+		t.Fatal("first execution claimed a cache hit")
+	}
+	status, env2 := postQuery(t, ts, body)
+	if status != http.StatusOK || !cachedFlag(t, env2) {
+		t.Fatalf("repeat not served from cache (status %d)", status)
+	}
+	if string(env1["result"]) != string(env2["result"]) {
+		t.Fatalf("cached result %s != executed %s", env2["result"], env1["result"])
+	}
+
+	// Same conjunction, commuted order: must hit the same entry.
+	body["where"] = []map[string]any{
+		{"column": "region", "op": "<", "value": 8},
+		{"column": "flag", "op": "=", "value": 1},
+	}
+	if _, env3 := postQuery(t, ts, body); !cachedFlag(t, env3) {
+		t.Fatal("commuted predicates missed the cache")
+	}
+
+	st := srv.cache.stats()
+	if st.Hits < 2 || st.Misses < 1 {
+		t.Fatalf("cache stats = %+v, want >=2 hits >=1 miss", st)
+	}
+}
+
+// TestQueryCacheStaleNeverServes pins the invalidation contract: any
+// event that can change an answer — a control-plane swap or a column
+// re-encode (generation bump) — makes old entries unreachable.
+func TestQueryCacheStaleNeverServes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 64
+	srv, ts := newTestServer(t, cfg)
+	body := map[string]any{"dataset": "demo", "op": "aggregate", "agg": "sum", "column": "amount"}
+
+	postQuery(t, ts, body)
+	if _, env := postQuery(t, ts, body); !cachedFlag(t, env) {
+		t.Fatal("warm-up repeat did not hit")
+	}
+
+	// Config swap bumps the snapshot version: next query must re-execute.
+	if err := srv.SwapConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, env := postQuery(t, ts, body); cachedFlag(t, env) {
+		t.Fatal("cache served across a config swap")
+	}
+	if _, env := postQuery(t, ts, body); !cachedFlag(t, env) {
+		t.Fatal("cache did not repopulate after the swap")
+	}
+
+	// Re-encoding the target column bumps its generation: the entry keyed
+	// on the old generation must never serve again.
+	ds, err := srv.Dataset("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Table.ReencodeColumn("amount", encoding.FoR, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, env := postQuery(t, ts, body)
+	if cachedFlag(t, env) {
+		t.Fatal("cache served a result for a re-encoded column")
+	}
+
+	// AddDataset bumps the version too; existing entries go stale but the
+	// recomputed answer must still be correct (values were preserved).
+	if err := srv.AddDataset(DatasetSpec{Name: "tiny", Rows: 100}); err != nil {
+		t.Fatal(err)
+	}
+	status, env2 := postQuery(t, ts, body)
+	if status != http.StatusOK || cachedFlag(t, env2) {
+		t.Fatalf("post-AddDataset query: status %d cached %v", status, cachedFlag(t, env2))
+	}
+	if string(env["result"]) != string(env2["result"]) {
+		t.Fatalf("recomputed result drifted: %s != %s", env["result"], env2["result"])
+	}
+}
+
+// TestQueryCacheOffByDefault pins that DefaultConfig leaves caching off:
+// repeats re-execute and the cached flag never appears.
+func TestQueryCacheOffByDefault(t *testing.T) {
+	srv, ts := newTestServer(t, DefaultConfig())
+	body := map[string]any{"dataset": "demo", "op": "degree"}
+	postQuery(t, ts, body)
+	if _, env := postQuery(t, ts, body); cachedFlag(t, env) {
+		t.Fatal("cache served with CacheEntries = 0")
+	}
+	if st := srv.cache.stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("disabled cache touched: %+v", st)
+	}
+}

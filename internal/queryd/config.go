@@ -32,6 +32,12 @@ type Config struct {
 	// [-MaxPriority, MaxPriority] so one client cannot starve the pool by
 	// claiming an arbitrarily high priority.
 	MaxPriority int `json:"max_priority"`
+	// CacheEntries bounds the result cache (0 = caching off, the
+	// default). Cached queries are answered before admission control, so
+	// a repeated-query mix gains throughput and sheds queue pressure at
+	// once; entries are keyed on catalog version and column generations,
+	// so swaps and re-encodes invalidate without a flush pass.
+	CacheEntries int `json:"cache_entries"`
 }
 
 // DefaultConfig returns serving defaults sized for the load harness: a
@@ -66,6 +72,9 @@ func (c Config) Validate() error {
 	if c.MaxPriority < 0 {
 		return fmt.Errorf("queryd: max_priority must be non-negative, got %d", c.MaxPriority)
 	}
+	if c.CacheEntries < 0 {
+		return fmt.Errorf("queryd: cache_entries must be non-negative, got %d", c.CacheEntries)
+	}
 	return nil
 }
 
@@ -99,6 +108,10 @@ func (c Config) clampPriority(p int) int {
 type snapshot struct {
 	cfg      Config
 	datasets map[string]*Dataset
+	// version counts control-plane swaps (config or catalog). It is part
+	// of every result-cache key, so a swap implicitly invalidates all
+	// cached results without touching the cache.
+	version uint64
 }
 
 // dataset resolves a dataset by name.

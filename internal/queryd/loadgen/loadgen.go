@@ -91,6 +91,12 @@ type Report struct {
 	P99MS       float64 `json:"p99_ms"`
 	MaxInFlight int     `json:"max_in_flight_observed"`
 
+	// Server-side result-cache deltas over the run (zero when the server
+	// runs with caching off or /stats is unreachable).
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
 	PerOp map[string]uint64 `json:"per_op"`
 }
 
@@ -111,6 +117,10 @@ func (r *Report) Summary() string {
 		r.Sent, r.OK, r.Rejected, r.Other4xx, r.Errors5xx, r.Transport, r.Dropped)
 	fmt.Fprintf(&b, "  %.1f queries/sec   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms   max in-flight %d\n",
 		r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxInFlight)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&b, "  cache: %d hits  %d misses  (%.1f%% hit rate)\n",
+			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
+	}
 	for name, n := range r.PerOp {
 		fmt.Fprintf(&b, "  %-12s %d\n", name, n)
 	}
@@ -134,6 +144,22 @@ func FetchMeta(addr string) ([]queryd.Meta, error) {
 		return nil, fmt.Errorf("loadgen: server has no datasets")
 	}
 	return payload.Datasets, nil
+}
+
+// FetchCacheStats reads the server's result-cache counters from /stats.
+func FetchCacheStats(addr string) (queryd.CacheStats, error) {
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		return queryd.CacheStats{}, fmt.Errorf("loadgen: fetching stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Cache queryd.CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return queryd.CacheStats{}, fmt.Errorf("loadgen: decoding stats: %w", err)
+	}
+	return payload.Cache, nil
 }
 
 // q builds a /query body.
@@ -301,6 +327,11 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
+	// Cache counters are cumulative on the server; snapshot before and
+	// after so the report carries this run's delta. A fetch failure only
+	// zeroes the cache fields, never fails the run.
+	cacheBefore, cacheErr := FetchCacheStats(opts.Addr)
+
 	begin := time.Now()
 	deadline := begin.Add(opts.Duration)
 	var wg sync.WaitGroup
@@ -368,6 +399,15 @@ func Run(opts Options) (*Report, error) {
 		rep.P50MS = snap.Quantile(0.50) / 1e6
 		rep.P95MS = snap.Quantile(0.95) / 1e6
 		rep.P99MS = snap.Quantile(0.99) / 1e6
+	}
+	if cacheErr == nil {
+		if cacheAfter, err := FetchCacheStats(opts.Addr); err == nil {
+			rep.CacheHits = cacheAfter.Hits - cacheBefore.Hits
+			rep.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
+			if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+				rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
+			}
+		}
 	}
 	if math.IsNaN(rep.QPS) || math.IsInf(rep.QPS, 0) {
 		rep.QPS = 0

@@ -67,6 +67,11 @@ type Server struct {
 
 	adm *admission
 
+	// cache is the bounded result LRU (see cache.go). Always allocated;
+	// the capacity in the current snapshot's config decides whether it is
+	// consulted, so a config swap can turn caching on or off live.
+	cache *resultCache
+
 	// served counts successfully executed queries; errs5xx counts
 	// internal failures (the load gate requires this to stay zero).
 	served  atomic.Uint64
@@ -82,7 +87,7 @@ func NewServer(rt *rts.Runtime, cfg Config, specs []DatasetSpec, rec *obs.Record
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Server{rt: rt, rec: rec, reg: reg, adm: newAdmission()}
+	s := &Server{rt: rt, rec: rec, reg: reg, adm: newAdmission(), cache: newResultCache()}
 
 	// Datasets are built before the scheduler attaches: initialization
 	// wants the exclusive loop engine's first-touch determinism.
@@ -135,7 +140,7 @@ func (s *Server) SwapConfig(cfg Config) error {
 	}
 	s.ctlMu.Lock()
 	old := s.snap.Load()
-	s.snap.Store(&snapshot{cfg: cfg, datasets: old.datasets})
+	s.snap.Store(&snapshot{cfg: cfg, datasets: old.datasets, version: old.version + 1})
 	s.ctlMu.Unlock()
 	s.adm.Kick(cfg)
 	return nil
@@ -160,7 +165,7 @@ func (s *Server) AddDataset(spec DatasetSpec) error {
 		datasets[k] = v
 	}
 	datasets[spec.Name] = d
-	s.snap.Store(&snapshot{cfg: old.cfg, datasets: datasets})
+	s.snap.Store(&snapshot{cfg: old.cfg, datasets: datasets, version: old.version + 1})
 	return nil
 }
 
@@ -207,6 +212,9 @@ type queryResponse struct {
 	Result   any     `json:"result"`
 	WallMS   float64 `json:"wall_ms"`
 	Priority int     `json:"priority"`
+	// Cached marks a result served from the result cache (the query
+	// skipped admission and execution entirely).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // errorResponse is the error wire envelope.
@@ -242,7 +250,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cache lookup runs before admission: a hit costs two map operations
+	// and skips the queue entirely, which is where the repeated-query
+	// throughput win comes from. The key embeds the snapshot version and
+	// the touched columns' generations, so a stale entry is unreachable
+	// by construction. start is taken before the lookup so the latency
+	// histogram covers hits too.
 	start := time.Now()
+	var key string
+	cacheable := false
+	if snap.cfg.CacheEntries > 0 {
+		key, cacheable = cacheKey(snap, ds, p)
+		if cacheable {
+			if result, ok := s.cache.get(key); ok {
+				wall := time.Since(start)
+				if s.rec != nil {
+					s.rec.Histogram(QueryHistogram).Observe(uint64(wall.Nanoseconds()))
+					s.rec.Histogram(QueryHistogram + "." + string(p.Op)).Observe(uint64(wall.Nanoseconds()))
+				}
+				s.served.Add(1)
+				writeJSON(w, http.StatusOK, queryResponse{
+					Op:       string(p.Op),
+					Dataset:  p.Dataset,
+					Result:   result,
+					WallMS:   float64(wall.Nanoseconds()) / 1e6,
+					Priority: snap.cfg.clampPriority(p.Priority),
+					Cached:   true,
+				})
+				return
+			}
+		}
+	}
+
 	if err := s.adm.Acquire(snap.cfg, p.Tenant, p.DeadlineMS); err != nil {
 		s.reject(w, snap.cfg, err)
 		return
@@ -261,6 +300,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// meaningful for real internal failures.
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
+	}
+	if cacheable {
+		s.cache.put(key, result, snap.cfg.CacheEntries)
 	}
 	wall := time.Since(start)
 	if s.rec != nil {
@@ -312,6 +354,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 // served-query latency quantiles from the obs histogram.
 type statsResponse struct {
 	Admission AdmissionStats    `json:"admission"`
+	Cache     CacheStats        `json:"cache"`
 	Served    uint64            `json:"served"`
 	Errors4xx uint64            `json:"errors_4xx"`
 	Errors5xx uint64            `json:"errors_5xx"`
@@ -328,6 +371,7 @@ type latencyQuantiles struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := statsResponse{
 		Admission: s.adm.Stats(),
+		Cache:     s.cache.stats(),
 		Served:    s.served.Load(),
 		Errors4xx: s.errs4xx.Load(),
 		Errors5xx: s.errs5xx.Load(),

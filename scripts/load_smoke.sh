@@ -32,7 +32,7 @@ go build -o "$WORK/saserve" ./cmd/saserve
 go build -o "$WORK/saload" ./cmd/saload
 
 "$WORK/saserve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
-    -rows "$ROWS" -vertices "$VERTICES" 2>"$WORK/saserve.log" &
+    -rows "$ROWS" -vertices "$VERTICES" -cache 1024 2>"$WORK/saserve.log" &
 SERVER_PID=$!
 
 # Wait for the server to publish its bound address.
@@ -67,4 +67,12 @@ if [ -z "$MAX_INFLIGHT" ] || [ "$MAX_INFLIGHT" -lt 2 ]; then
     exit 1
 fi
 
-echo "load-smoke: PASSED (report in saload_report.json)"
+# Repeated-query phase: the default mix has a fixed body set, so with the
+# result cache on (saserve -cache) the second run must land server-side
+# hits. -min-cache-hits turns that into a hard gate.
+echo "load-smoke: repeated-query phase (result cache)"
+"$WORK/saload" -addr "$ADDR" -duration 1s -concurrency "$CONCURRENCY" \
+    -spot-check=false -report saload_cache_report.json \
+    -max-5xx 0 -min-qps 1 -min-cache-hits 1
+
+echo "load-smoke: PASSED (reports in saload_report.json, saload_cache_report.json)"
