@@ -94,6 +94,9 @@ func main() {
 		pruneRows, err := bench.RunPruningKernels(opts)
 		exitOn(err)
 		rows = append(rows, pruneRows...)
+		sharedRows, err := bench.RunSharedScanKernels(opts)
+		exitOn(err)
+		rows = append(rows, sharedRows...)
 		bench.PrintKernelTable(os.Stdout, rows)
 		if report != nil {
 			krep := bench.KernelBenchReport(tool, rows)

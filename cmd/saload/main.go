@@ -33,15 +33,17 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
 	concurrency := flag.Int("concurrency", 4, "closed-loop clients, or open-loop outstanding cap")
 	rate := flag.Float64("rate", 0, "open-loop Poisson arrivals/sec (0 = closed loop)")
-	seed := flag.Int64("seed", 1, "workload random seed")
+	seed := flag.Int64("seed", 1, "workload random seed (same seed replays the same pick sequences)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	report := flag.String("report", "saload_report.json", "write the JSON report here (empty = skip)")
 	spot := flag.Bool("spot-check", true, "verify results against dataset checksums before the run")
+	aggOnly := flag.Bool("agg-only", false, "restrict the mix to table scans (aggregate/groupby)")
 
 	max5xx := flag.Int("max-5xx", -1, "gate: max allowed 5xx responses (negative = no gate)")
 	minQPS := flag.Float64("min-qps", 0, "gate: min successful queries/sec (0 = no gate)")
 	maxP99 := flag.Float64("max-p99-ms", 0, "gate: max client-side p99 in ms (0 = no gate)")
 	minCacheHits := flag.Uint64("min-cache-hits", 0, "gate: min server-side result-cache hits over the run (0 = no gate)")
+	minSharedBatches := flag.Uint64("min-shared-batches", 0, "gate: min server-side shared-scan batches (>=2 queries) over the run (0 = no gate)")
 	flag.Parse()
 
 	if *spot {
@@ -57,6 +59,7 @@ func main() {
 		Duration:    *duration,
 		Rate:        *rate,
 		Concurrency: *concurrency,
+		AggOnly:     *aggOnly,
 		Seed:        *seed,
 		Timeout:     *timeout,
 	})
@@ -93,6 +96,9 @@ func main() {
 	}
 	if *minCacheHits > 0 {
 		gate(rep.CacheHits >= *minCacheHits, "%d cache hits below floor %d", rep.CacheHits, *minCacheHits)
+	}
+	if *minSharedBatches > 0 {
+		gate(rep.SharedBatches >= *minSharedBatches, "%d shared batches below floor %d", rep.SharedBatches, *minSharedBatches)
 	}
 	if failed {
 		os.Exit(1)

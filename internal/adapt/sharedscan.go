@@ -1,0 +1,52 @@
+package adapt
+
+import (
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/perfmodel"
+)
+
+// Shared-scan enrollment scoring: should this query ride the table's
+// cooperative pass or run its own zone-pruned scan? The DimmWitted
+// tradeoff applied to the scan cursor — sharing amortizes the chunk
+// decode across the batch but costs a wraparound wait, so it wins
+// exactly when the independent scan still pays for the walk (un-prunable
+// predicates under concurrency) and loses when the zone index already
+// resolves almost everything (highly selective clustered predicates,
+// whose independent cost sits near the zone-check floor).
+
+// SharedScanScore is the modeled per-element choice for one query.
+type SharedScanScore struct {
+	// Independent is the query's own zone-pruned scan (mask + fold).
+	Independent float64
+	// Shared is the query's share of a cooperative pass of Batch queries.
+	Shared float64
+	// Batch is the enrollment estimate the score was taken at.
+	Batch int
+	// Gain is Independent / Shared — >1 means enrolling wins.
+	Gain float64
+	// Enroll is the decision: sharing beats the independent scan and
+	// there is someone to share with.
+	Enroll bool
+}
+
+// ScoreSharedScan prices enrollment for a query over a representation
+// summarized by cs. resolvedShare is the share of chunks the zone index
+// resolves outright for the query's predicates (no payload touched);
+// foldShare is the share still carrying live mask bits into the fold
+// (both from encoding.ZoneIndex.PruneStatsFor, conservatively combined
+// over the conjunction). batch is the expected cooperative batch size —
+// the coordinator's current enrollment plus the admission backlog.
+func ScoreSharedScan(cs encoding.CostStats, foldShare, resolvedShare float64, batch int) SharedScanScore {
+	if batch < 1 {
+		batch = 1
+	}
+	independent := perfmodel.CostEncodedPrunedMask(cs, resolvedShare) +
+		perfmodel.CostEncodedPrunedMaskedReduce(cs, foldShare)
+	shared := perfmodel.CostSharedScan(cs, foldShare, batch)
+	s := SharedScanScore{Independent: independent, Shared: shared, Batch: batch}
+	if shared > 0 {
+		s.Gain = independent / shared
+	}
+	s.Enroll = batch >= 2 && shared < independent
+	return s
+}

@@ -1,0 +1,53 @@
+package adapt
+
+import "testing"
+
+// TestScoreSharedScanUniformEnrolls pins the headline case: un-prunable
+// uniform predicates (the zone index resolves nothing, every chunk folds)
+// should enroll as soon as there is anyone to share the walk with.
+func TestScoreSharedScanUniformEnrolls(t *testing.T) {
+	cs := bitpacked16()
+	for _, batch := range []int{2, 4, 16, 64} {
+		s := ScoreSharedScan(cs, 1.0, 0.0, batch)
+		if !s.Enroll {
+			t.Errorf("uniform batch %d: should enroll (indep %.2f, shared %.2f)", batch, s.Independent, s.Shared)
+		}
+	}
+}
+
+// TestScoreSharedScanSoloBypasses pins the bootstrap rule: with no one to
+// share with there is no walk to amortize, only wait overhead.
+func TestScoreSharedScanSoloBypasses(t *testing.T) {
+	if s := ScoreSharedScan(bitpacked16(), 1.0, 0.0, 1); s.Enroll {
+		t.Errorf("solo query enrolled: %+v", s)
+	}
+}
+
+// TestScoreSharedScanSelectiveBypasses pins the adaptive bypass: a highly
+// selective zone-resolved predicate's independent scan sits near the
+// zone-check floor, so the cooperative pass (which charges the query its
+// share of the whole batch's walk plus the wraparound wait) must lose at
+// every batch size.
+func TestScoreSharedScanSelectiveBypasses(t *testing.T) {
+	cs := bitpacked16()
+	for _, batch := range []int{2, 8, 64, 1024} {
+		s := ScoreSharedScan(cs, 0.05, 0.95, batch)
+		if s.Enroll {
+			t.Errorf("selective batch %d: should bypass (indep %.2f, shared %.2f)", batch, s.Independent, s.Shared)
+		}
+	}
+}
+
+// TestScoreSharedScanMonotonicInBatch checks a bigger batch never makes
+// sharing look worse — the walk only amortizes further.
+func TestScoreSharedScanMonotonicInBatch(t *testing.T) {
+	cs := bitpacked16()
+	prev := -1.0
+	for batch := 1; batch <= 128; batch *= 2 {
+		s := ScoreSharedScan(cs, 1.0, 0.0, batch)
+		if prev >= 0 && s.Shared > prev {
+			t.Fatalf("batch %d: shared cost %.3f rose above %.3f", batch, s.Shared, prev)
+		}
+		prev = s.Shared
+	}
+}

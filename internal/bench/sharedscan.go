@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+
+	"smartarrays/internal/colstore"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/perfmodel"
+	"smartarrays/internal/rts"
+)
+
+// Shared-scan benchmark: the cooperative fused pass versus independent
+// selective scans. Each cell really runs a MultiScan batch over a live
+// column-store table on the simulated 18-core machine, verifies every
+// enrolled query bit-identical against its independent Aggregate/GroupBy
+// execution, and models the paper-scale per-query cost: the independent
+// row pays a full mask walk plus masked fold per query, the batched row
+// amortizes the walk (and its payload read) across the whole batch with
+// the coordinator's wait overhead added — the N-queries ≈ 1-scan + N-folds
+// economics the coordinator exists for. Both rows gate.
+
+// sharedScanBatch is the modeled batch size — the load harness's default
+// admission depth plus queued arrivals, and the regime the acceptance
+// experiment (64 clients) saturates easily.
+const sharedScanBatch = 8
+
+// sharedScanQueries builds the benchmark batch: distinct predicated
+// aggregates plus a grouped query, all over uniform (un-prunable) data so
+// every query walks every chunk — the shape where sharing pays most.
+func sharedScanQueries() []colstore.ScanQuery {
+	return []colstore.ScanQuery{
+		{Agg: colstore.Sum, Column: "val", Preds: []colstore.Pred{{Column: "val", Op: colstore.Le, Value: 1 << 14}}},
+		{Agg: colstore.Count, Column: "val", Preds: []colstore.Pred{{Column: "val", Op: colstore.Ge, Value: 1 << 13}}},
+		{Agg: colstore.Min, Column: "val", Preds: []colstore.Pred{{Column: "key", Op: colstore.Lt, Value: 6}}},
+		{Agg: colstore.Max, Column: "val", Preds: []colstore.Pred{{Column: "key", Op: colstore.Ne, Value: 3}}},
+		{Agg: colstore.Sum, Column: "val", Preds: []colstore.Pred{{Column: "val", Op: colstore.Le, Value: 1 << 14}}},
+		{Agg: colstore.Sum, Column: "val", Key: "key", Preds: []colstore.Pred{{Column: "val", Op: colstore.Gt, Value: 1 << 12}}},
+		{Agg: colstore.Count, Column: "val", Key: "key", Preds: []colstore.Pred{{Column: "key", Op: colstore.Ge, Value: 2}}},
+		{Agg: colstore.Sum, Column: "val", Preds: []colstore.Pred{
+			{Column: "val", Op: colstore.Ge, Value: 1 << 10}, {Column: "val", Op: colstore.Le, Value: 3 << 13}}},
+	}
+}
+
+// RunSharedScanKernels executes and models the shared-scan cells.
+func RunSharedScanKernels(opts Options) ([]KernelResult, error) {
+	const bits = pruningBenchBits
+	spec := machine.X52Large()
+	rt := rts.New(spec)
+	opts.instrument(rt)
+
+	tbl, err := colstore.NewTable(rt, opts.Elements)
+	if err != nil {
+		return nil, err
+	}
+	defer tbl.Free()
+	d := pruningDataset{name: "uniform"}
+	vals := make([]uint64, opts.Elements)
+	keys := make([]uint64, opts.Elements)
+	mask := uint64(1)<<bits - 1
+	for i := uint64(0); i < opts.Elements; i++ {
+		vals[i] = d.value(i, opts.Elements, mask)
+		keys[i] = vals[i] % 8
+	}
+	if _, err := tbl.AddColumn("val", vals, colstore.Options{}); err != nil {
+		return nil, err
+	}
+	if _, err := tbl.AddColumn("key", keys, colstore.Options{}); err != nil {
+		return nil, err
+	}
+
+	// The real cooperative batch, verified query by query against the
+	// independent execution path.
+	queries := sharedScanQueries()
+	results, err := tbl.MultiScan(queries)
+	if err != nil {
+		return nil, err
+	}
+	verified := true
+	for i, q := range queries {
+		if q.Key == "" {
+			want, err := tbl.Aggregate(q.Agg, q.Column, q.Preds...)
+			if err != nil {
+				return nil, err
+			}
+			if results[i].Value != want {
+				verified = false
+				if opts.Verify {
+					return nil, fmt.Errorf("bench: shared scan query %d = %d, independent %d", i, results[i].Value, want)
+				}
+			}
+			continue
+		}
+		want, err := tbl.GroupBy(q.Key, q.Agg, q.Column, q.Preds...)
+		if err != nil {
+			return nil, err
+		}
+		if len(results[i].Groups) != len(want) {
+			verified = false
+		} else {
+			for g := range want {
+				if results[i].Groups[g] != want[g] {
+					verified = false
+				}
+			}
+		}
+		if opts.Verify && !verified {
+			return nil, fmt.Errorf("bench: shared scan grouped query %d diverged from independent GroupBy", i)
+		}
+	}
+
+	// Model the paper-scale per-query pair. Uniform data leaves the zone
+	// index nothing to resolve (foldShare 1, resolvedShare 0), so the
+	// independent query pays a full mask walk plus a full masked fold —
+	// two payload passes — while the batched query shares one walk (and
+	// its payload read) across the batch and pays the coordinator's
+	// modeled wait on top.
+	target, err := tbl.Column("val")
+	if err != nil {
+		return nil, err
+	}
+	cs := target.Array().EncodingStats()
+	indepInstr := perfmodel.CostEncodedPrunedMask(cs, 0) + perfmodel.CostEncodedPrunedMaskedReduce(cs, 1)
+	sharedInstr := perfmodel.CostSharedScan(cs, 1, sharedScanBatch)
+	sharedPasses := (1.0 + 1.0) / sharedScanBatch
+
+	return []KernelResult{
+		modelKernel(spec, "shared-scan-indep/uniform", bits, indepInstr, 2, verified),
+		modelKernel(spec, fmt.Sprintf("shared-scan-%dq/uniform", sharedScanBatch), bits,
+			sharedInstr, sharedPasses, verified),
+	}, nil
+}

@@ -225,6 +225,11 @@ func (op CmpOp) String() string {
 	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
 }
 
+// Cmp maps the operator to the bitpack fused-kernel predicate — exported
+// for callers that feed predicates to the zone index's prune statistics
+// (the shared-scan enrollment score does).
+func (op CmpOp) Cmp() bitpack.Cmp { return op.cmp() }
+
 // cmp maps the operator to the bitpack fused-kernel predicate.
 func (op CmpOp) cmp() bitpack.Cmp {
 	switch op {
@@ -498,30 +503,32 @@ func (t *Table) aggregateScalar(agg Agg, column string, preds ...Pred) (uint64, 
 	}
 	workers := t.rt.Workers()
 	locals := make([]aggState, len(workers))
-	targetReps := make([][]uint64, len(workers))
-	predReps := make([][][]uint64, len(workers))
+	// Representation snapshots resolved once per worker (core.View), so a
+	// concurrent Reencode cannot tear the scan mid-pass.
+	targetViews := make([]core.View, len(workers))
+	predViews := make([][]core.View, len(workers))
 	for i, w := range workers {
 		locals[i] = newAggState(agg)
-		targetReps[i] = target.arr.GetReplica(w.Socket)
-		predReps[i] = make([][]uint64, len(predCols))
+		targetViews[i] = target.arr.View(w.Socket)
+		predViews[i] = make([]core.View, len(predCols))
 		for j, pc := range predCols {
-			predReps[i][j] = pc.arr.GetReplica(w.Socket)
+			predViews[i][j] = pc.arr.View(w.Socket)
 		}
 	}
 	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
 		local := &locals[w.ID]
-		targetRep := targetReps[w.ID]
-		reps := predReps[w.ID]
+		targetView := &targetViews[w.ID]
+		views := predViews[w.ID]
 		for row := lo; row < hi; row++ {
 			match := true
-			for i, pc := range predCols {
-				if !preds[i].Op.eval(pc.arr.Get(reps[i], row), preds[i].Value) {
+			for i := range predCols {
+				if !preds[i].Op.eval(views[i].Get(row), preds[i].Value) {
 					match = false
 					break
 				}
 			}
 			if match {
-				local.add(target.arr.Get(targetRep, row))
+				local.add(targetView.Get(row))
 			}
 		}
 	})
@@ -581,12 +588,14 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 	predCols, preds = orderPreds(predCols, preds)
 
 	workers := t.rt.Workers()
-	// Replicas resolved once per worker, not once per claimed batch.
-	keyReps := make([][]uint64, len(workers))
-	targetReps := make([][]uint64, len(workers))
+	// Representation snapshots resolved once per worker, not once per
+	// claimed batch — and atomically (core.View), so a concurrent
+	// Reencode cannot pair a stale replica with the new decode.
+	keyViews := make([]core.View, len(workers))
+	targetViews := make([]core.View, len(workers))
 	for i, w := range workers {
-		keyReps[i] = key.arr.GetReplica(w.Socket)
-		targetReps[i] = target.arr.GetReplica(w.Socket)
+		keyViews[i] = key.arr.View(w.Socket)
+		targetViews[i] = target.arr.View(w.Socket)
 	}
 
 	// forEachMatch feeds every selected row of a batch to fn: the mask
@@ -619,9 +628,9 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 				}
 				states[w.ID] = st
 			}
-			keyRep, targetRep := keyReps[w.ID], targetReps[w.ID]
+			keyView, targetView := &keyViews[w.ID], &targetViews[w.ID]
 			forEachMatch(w, lo, hi, func(row uint64) {
-				st[key.arr.Get(keyRep, row)].add(target.arr.Get(targetRep, row))
+				st[keyView.Get(row)].add(targetView.Get(row))
 			})
 		})
 		rows := make([]GroupRow, 0)
@@ -647,16 +656,16 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 			local = map[uint64]*aggState{}
 			localMaps[w.ID] = local
 		}
-		keyRep, targetRep := keyReps[w.ID], targetReps[w.ID]
+		keyView, targetView := &keyViews[w.ID], &targetViews[w.ID]
 		forEachMatch(w, lo, hi, func(row uint64) {
-			k := key.arr.Get(keyRep, row)
+			k := keyView.Get(row)
 			st, ok := local[k]
 			if !ok {
 				s := newAggState(agg)
 				st = &s
 				local[k] = st
 			}
-			st.add(target.arr.Get(targetRep, row))
+			st.add(targetView.Get(row))
 		})
 	})
 	groups := map[uint64]*aggState{}
@@ -700,16 +709,16 @@ func (t *Table) groupByScalar(keyColumn string, agg Agg, column string, preds ..
 	groups := map[uint64]*aggState{}
 	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
 		local := map[uint64]*aggState{}
-		keyRep := key.arr.GetReplica(w.Socket)
-		targetRep := target.arr.GetReplica(w.Socket)
-		reps := make([][]uint64, len(predCols))
+		keyView := key.arr.View(w.Socket)
+		targetView := target.arr.View(w.Socket)
+		views := make([]core.View, len(predCols))
 		for i, pc := range predCols {
-			reps[i] = pc.arr.GetReplica(w.Socket)
+			views[i] = pc.arr.View(w.Socket)
 		}
 		for row := lo; row < hi; row++ {
 			match := true
-			for i, pc := range predCols {
-				if !preds[i].Op.eval(pc.arr.Get(reps[i], row), preds[i].Value) {
+			for i := range predCols {
+				if !preds[i].Op.eval(views[i].Get(row), preds[i].Value) {
 					match = false
 					break
 				}
@@ -717,14 +726,14 @@ func (t *Table) groupByScalar(keyColumn string, agg Agg, column string, preds ..
 			if !match {
 				continue
 			}
-			k := key.arr.Get(keyRep, row)
+			k := keyView.Get(row)
 			st, ok := local[k]
 			if !ok {
 				s := newAggState(agg)
 				st = &s
 				local[k] = st
 			}
-			st.add(target.arr.Get(targetRep, row))
+			st.add(targetView.Get(row))
 		}
 		mu.Lock()
 		for k, st := range local {

@@ -1,0 +1,344 @@
+// Multi-consumer scans: the cooperative kernel under the query service's
+// shared-scan coordinator. One parallel pass over a row range advances N
+// enrolled queries at once — each batch is decoded once per predicate
+// signature (the mask pipeline runs through the same chunk-codec dispatch
+// and zone pruning as Aggregate), then every enrolled query folds the
+// surviving rows into its own per-worker accumulators. The states are
+// long-lived: a coordinator drives them segment by segment, so a query
+// can attach at the current cursor and complete after a full wraparound
+// (Crescando-style circular scan) while the per-batch work stays
+// identical to the single-query pipeline — which is what makes shared
+// results bit-identical to independent execution.
+package colstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartarrays/internal/bitpack"
+	"smartarrays/internal/core"
+	"smartarrays/internal/rts"
+)
+
+// ScanQuery describes one consumer of a cooperative pass: an Aggregate
+// (empty Key) or GroupBy (Key set) with a conjunctive predicate list —
+// exactly the plan shapes the query service enrolls.
+type ScanQuery struct {
+	Agg    Agg
+	Column string
+	// Key selects grouped aggregation when non-empty.
+	Key   string
+	Preds []Pred
+}
+
+// ScanResult is one consumer's answer: Value for aggregates, Groups for
+// grouped queries (sorted by key, same wire shape as GroupBy).
+type ScanResult struct {
+	Value  uint64
+	Groups []GroupRow
+}
+
+// ScanState is one enrolled query's scan-position-independent state:
+// resolved columns, the ordered predicate list, and per-worker
+// accumulators. It is advanced by ScanRange over disjoint row ranges in
+// any order (the folds commute) and finalized once by Result. A state
+// must only be driven by one ScanRange call at a time; different states
+// are independent.
+type ScanState struct {
+	agg      Agg
+	grouped  bool
+	target   *Column
+	key      *Column
+	predCols []*Column
+	preds    []Pred
+	// sig is the canonical (order-independent) predicate signature;
+	// states with equal signatures share one mask build per batch.
+	sig string
+
+	// locals accumulates the scalar aggregate, one slot per worker.
+	locals []aggState
+	// Grouped accumulators, dense (slice-indexed) or wide (hash maps),
+	// lazily allocated on each worker's first surviving batch.
+	dense       bool
+	domain      uint64
+	denseStates [][]aggState
+	maps        []map[uint64]*aggState
+}
+
+// Signature is the state's canonical predicate signature — equal
+// signatures share one mask build per batch in ScanRange.
+func (s *ScanState) Signature() string { return s.sig }
+
+// predSignature canonicalizes a conjunction: AND commutes, so the
+// signature sorts the terms — two queries whose orderPreds ordering
+// diverged (telemetry drift) still share the identical resulting mask.
+func predSignature(preds []Pred) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	keys := make([]string, len(preds))
+	for i, p := range preds {
+		keys[i] = fmt.Sprintf("%s\x00%d\x00%d", p.Column, p.Op, p.Value)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x01")
+}
+
+// NewScanState resolves q against the table and allocates its per-worker
+// accumulators. The state is cheap (lazy group storage), so coordinators
+// can create one per enrolling query without staging.
+func (t *Table) NewScanState(q ScanQuery) (*ScanState, error) {
+	target, err := t.Column(q.Column)
+	if err != nil {
+		return nil, err
+	}
+	predCols, err := t.resolvePreds(q.Preds)
+	if err != nil {
+		return nil, err
+	}
+	preds := append([]Pred(nil), q.Preds...)
+	predCols, preds = orderPreds(predCols, preds)
+	s := &ScanState{
+		agg:      q.Agg,
+		target:   target,
+		predCols: predCols,
+		preds:    preds,
+		sig:      predSignature(preds),
+	}
+	n := len(t.rt.Workers())
+	if q.Key != "" {
+		key, err := t.Column(q.Key)
+		if err != nil {
+			return nil, err
+		}
+		s.grouped = true
+		s.key = key
+		if key.arr.Bits() <= denseKeyMaxBits {
+			s.dense = true
+			s.domain = key.arr.Codec().MaxValue() + 1
+			s.denseStates = make([][]aggState, n)
+		} else {
+			s.maps = make([]map[uint64]*aggState, n)
+		}
+	} else {
+		s.locals = make([]aggState, n)
+		for i := range s.locals {
+			s.locals[i] = newAggState(q.Agg)
+		}
+	}
+	return s, nil
+}
+
+// ScanRange advances every state over rows [lo, hi) in one parallel
+// pass. Per batch, states are grouped by predicate signature: the group
+// leader builds the selection bitmap once (into the table's per-worker
+// mask scratch), then every member folds the surviving rows — N queries
+// pay one decode. Runs through the receiver's runtime, so a coordinator
+// can submit each segment on a priority view of the enrolled queries.
+func (t *Table) ScanRange(lo, hi uint64, states []*ScanState) {
+	if lo >= hi || len(states) == 0 {
+		return
+	}
+	groups := groupScanStates(states)
+	t.rt.ParallelFor(lo, hi, 0, func(w *rts.Worker, blo, bhi uint64) {
+		for _, grp := range groups {
+			lead := grp[0]
+			if len(lead.preds) == 0 {
+				for _, s := range grp {
+					s.foldAll(w, blo, bhi)
+				}
+				continue
+			}
+			_, n := core.MaskChunks(blo, bhi)
+			masks := maskScratch(&t.scratch[w.ID], n)
+			if !buildMasks(w, blo, bhi, lead.predCols, lead.preds, masks) {
+				continue
+			}
+			for _, s := range grp {
+				s.foldMasked(w, blo, bhi, masks)
+			}
+		}
+	})
+}
+
+// groupScanStates buckets states by predicate signature, preserving
+// first-seen order. The zero-predicate signature groups too: its members
+// skip the mask pipeline entirely.
+func groupScanStates(states []*ScanState) [][]*ScanState {
+	order := make(map[string]int, len(states))
+	var groups [][]*ScanState
+	for _, s := range states {
+		if i, ok := order[s.sig]; ok {
+			groups[i] = append(groups[i], s)
+			continue
+		}
+		order[s.sig] = len(groups)
+		groups = append(groups, []*ScanState{s})
+	}
+	return groups
+}
+
+// foldAll folds the unpredicated batch: fused range reductions for
+// scalar aggregates, a plain row loop for grouped ones.
+func (s *ScanState) foldAll(w *rts.Worker, lo, hi uint64) {
+	if s.grouped {
+		s.foldRows(w, lo, hi, nil)
+		return
+	}
+	local := &s.locals[w.ID]
+	switch s.agg {
+	case Count:
+		local.count += hi - lo
+	case Sum:
+		local.sum += core.ReduceRange(s.target.arr, w.Socket, lo, hi, core.ReduceSum)
+	case Min:
+		if v := core.ReduceRange(s.target.arr, w.Socket, lo, hi, core.ReduceMin); v < local.min {
+			local.min = v
+		}
+	case Max:
+		if v := core.ReduceRange(s.target.arr, w.Socket, lo, hi, core.ReduceMax); v > local.max {
+			local.max = v
+		}
+	}
+	local.any = true
+}
+
+// foldMasked folds the batch's surviving rows under the shared selection
+// bitmap — the same popcount + masked fused fold Aggregate runs.
+func (s *ScanState) foldMasked(w *rts.Worker, lo, hi uint64, masks []uint64) {
+	if s.grouped {
+		s.foldRows(w, lo, hi, masks)
+		return
+	}
+	local := &s.locals[w.ID]
+	local.count += bitpack.PopcountMasks(masks)
+	local.any = true
+	switch s.agg {
+	case Sum:
+		local.sum += core.ReduceRangeMasked(s.target.arr, w.Socket, lo, hi, core.ReduceSum, masks)
+	case Min:
+		if v := core.ReduceRangeMasked(s.target.arr, w.Socket, lo, hi, core.ReduceMin, masks); v < local.min {
+			local.min = v
+		}
+	case Max:
+		if v := core.ReduceRangeMasked(s.target.arr, w.Socket, lo, hi, core.ReduceMax, masks); v > local.max {
+			local.max = v
+		}
+	}
+}
+
+// foldRows feeds the batch's selected rows (all of them when masks is
+// nil) into the grouped accumulators. Representation snapshots are taken
+// per batch (core.View), not cached on the state: a ScanState outlives
+// many batches, and holding replicas across them would let a concurrent
+// Reencode pair a stale replica with the new representation's decode.
+func (s *ScanState) foldRows(w *rts.Worker, lo, hi uint64, masks []uint64) {
+	keyView := s.key.arr.View(w.Socket)
+	targetView := s.target.arr.View(w.Socket)
+	var add func(row uint64)
+	if s.dense {
+		st := s.denseStates[w.ID]
+		if st == nil {
+			st = make([]aggState, s.domain)
+			for k := range st {
+				st[k] = newAggState(s.agg)
+			}
+			s.denseStates[w.ID] = st
+		}
+		add = func(row uint64) {
+			st[keyView.Get(row)].add(targetView.Get(row))
+		}
+	} else {
+		local := s.maps[w.ID]
+		if local == nil {
+			local = map[uint64]*aggState{}
+			s.maps[w.ID] = local
+		}
+		add = func(row uint64) {
+			k := keyView.Get(row)
+			st, ok := local[k]
+			if !ok {
+				n := newAggState(s.agg)
+				st = &n
+				local[k] = st
+			}
+			st.add(targetView.Get(row))
+		}
+	}
+	if masks == nil {
+		for row := lo; row < hi; row++ {
+			add(row)
+		}
+		return
+	}
+	core.ForEachMasked(lo, hi, masks, add)
+}
+
+// Result merges the per-worker accumulators into the final answer. Call
+// once, after the state has covered every row exactly once; the merge
+// mirrors Aggregate/GroupBy, so the answer is bit-identical to
+// independent execution regardless of segment order.
+func (s *ScanState) Result() ScanResult {
+	if !s.grouped {
+		total := newAggState(s.agg)
+		for i := range s.locals {
+			total.merge(s.locals[i])
+		}
+		return ScanResult{Value: total.result()}
+	}
+	if s.dense {
+		rows := make([]GroupRow, 0)
+		for k := uint64(0); k < s.domain; k++ {
+			total := newAggState(s.agg)
+			for _, st := range s.denseStates {
+				if st != nil {
+					total.merge(st[k])
+				}
+			}
+			if total.count > 0 {
+				rows = append(rows, GroupRow{Key: k, Value: total.result()})
+			}
+		}
+		return ScanResult{Groups: rows}
+	}
+	groups := map[uint64]*aggState{}
+	for _, local := range s.maps {
+		for k, st := range local {
+			g, ok := groups[k]
+			if !ok {
+				n := newAggState(s.agg)
+				g = &n
+				groups[k] = g
+			}
+			g.merge(*st)
+		}
+	}
+	rows := make([]GroupRow, 0, len(groups))
+	for k, st := range groups {
+		rows = append(rows, GroupRow{Key: k, Value: st.result()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return ScanResult{Groups: rows}
+}
+
+// MultiScan runs queries as one cooperative pass over the whole table
+// and returns their results in order — the one-shot form of the
+// state/range API, used by tests and benchmarks to pin the shared pass
+// against independent Aggregate/GroupBy execution.
+func (t *Table) MultiScan(queries []ScanQuery) ([]ScanResult, error) {
+	states := make([]*ScanState, len(queries))
+	for i, q := range queries {
+		st, err := t.NewScanState(q)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	t.ScanRange(0, t.rows, states)
+	results := make([]ScanResult, len(states))
+	for i, st := range states {
+		results[i] = st.Result()
+	}
+	return results, nil
+}

@@ -1,0 +1,191 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/memsim"
+)
+
+// multiScanQueries is the mixed batch the shared-scan tests drive: every
+// aggregate, grouped and scalar, duplicate plans, multi-predicate
+// conjunctions, and a zero-predicate fold.
+func multiScanQueries() []ScanQuery {
+	return []ScanQuery{
+		{Agg: Sum, Column: "price", Preds: []Pred{{Column: "region", Op: Lt, Value: 4}}},
+		{Agg: Count, Column: "qty", Preds: []Pred{{Column: "qty", Op: Ge, Value: 500}}},
+		{Agg: Min, Column: "price", Preds: []Pred{{Column: "region", Op: Eq, Value: 2}}},
+		{Agg: Max, Column: "price", Preds: []Pred{{Column: "region", Op: Ne, Value: 7}}},
+		{Agg: Sum, Column: "price", Preds: []Pred{{Column: "region", Op: Lt, Value: 4}}},
+		{Agg: Sum, Column: "qty"},
+		{Agg: Sum, Column: "price", Preds: []Pred{
+			{Column: "qty", Op: Ge, Value: 100}, {Column: "qty", Op: Le, Value: 800}}},
+		{Agg: Sum, Column: "price", Key: "region", Preds: []Pred{{Column: "qty", Op: Ge, Value: 500}}},
+		{Agg: Count, Column: "qty", Key: "region"},
+		{Agg: Max, Column: "qty", Key: "region", Preds: []Pred{{Column: "region", Op: Le, Value: 5}}},
+	}
+}
+
+// checkAgainstIndependent asserts every MultiScan answer is bit-identical
+// to the query's independent Aggregate/GroupBy execution.
+func checkAgainstIndependent(t *testing.T, tbl *Table, queries []ScanQuery, results []ScanResult) {
+	t.Helper()
+	for i, q := range queries {
+		if q.Key == "" {
+			want, err := tbl.Aggregate(q.Agg, q.Column, q.Preds...)
+			if err != nil {
+				t.Fatalf("query %d: independent Aggregate: %v", i, err)
+			}
+			if results[i].Value != want {
+				t.Errorf("query %d: shared %d, independent %d", i, results[i].Value, want)
+			}
+			continue
+		}
+		want, err := tbl.GroupBy(q.Key, q.Agg, q.Column, q.Preds...)
+		if err != nil {
+			t.Fatalf("query %d: independent GroupBy: %v", i, err)
+		}
+		if len(results[i].Groups) != len(want) {
+			t.Fatalf("query %d: %d groups, independent %d", i, len(results[i].Groups), len(want))
+		}
+		for g := range want {
+			if results[i].Groups[g] != want[g] {
+				t.Errorf("query %d group %d: shared %+v, independent %+v", i, g, results[i].Groups[g], want[g])
+			}
+		}
+	}
+}
+
+func TestMultiScanMatchesIndependent(t *testing.T) {
+	f := newFixture(t, 20000, memsim.Interleaved)
+	queries := multiScanQueries()
+	results, err := f.table.MultiScan(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstIndependent(t, f.table, queries, results)
+}
+
+// TestMultiScanAcrossCodecs re-encodes the predicate and payload columns
+// through every representation and asserts the cooperative pass stays
+// bit-identical to independent execution under each codec.
+func TestMultiScanAcrossCodecs(t *testing.T) {
+	queries := multiScanQueries()
+	for _, kind := range encoding.Kinds {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			f := newFixture(t, 8000, memsim.Interleaved)
+			for _, name := range []string{"qty", "price", "region"} {
+				if _, err := f.table.ReencodeColumn(name, kind, 0); err != nil {
+					t.Fatalf("reencode %s to %v: %v", name, kind, err)
+				}
+			}
+			results, err := f.table.MultiScan(queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstIndependent(t, f.table, queries, results)
+		})
+	}
+}
+
+// TestScanRangeSegmentedRotation drives the same states through a rotated
+// segmented pass — the circular-scan shape where a late query starts
+// mid-table and wraps — and asserts the answers match the one-shot pass:
+// the folds commute, so attachment position must not matter.
+func TestScanRangeSegmentedRotation(t *testing.T) {
+	f := newFixture(t, 10240, memsim.Interleaved)
+	queries := multiScanQueries()
+	rows := f.table.Rows()
+	const segments = 7
+
+	for start := 0; start < segments; start++ {
+		states := make([]*ScanState, len(queries))
+		for i, q := range queries {
+			st, err := f.table.NewScanState(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			states[i] = st
+		}
+		for k := 0; k < segments; k++ {
+			seg := (start + k) % segments
+			lo := uint64(seg) * rows / segments
+			hi := uint64(seg+1) * rows / segments
+			f.table.ScanRange(lo, hi, states)
+		}
+		results := make([]ScanResult, len(states))
+		for i, st := range states {
+			results[i] = st.Result()
+		}
+		checkAgainstIndependent(t, f.table, queries, results)
+	}
+}
+
+// TestMultiScanUnderReencode races cooperative passes against live
+// re-encoding of every column — the serving-path invariant that a codec
+// swap mid-pass never changes answers (values are preserved; each fold
+// loads a consistent representation per call). Run with -race.
+func TestMultiScanUnderReencode(t *testing.T) {
+	f := newFixture(t, 6000, memsim.Interleaved)
+	queries := multiScanQueries()
+	want, err := f.table.MultiScan(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		kinds := []encoding.Kind{encoding.Dict, encoding.RLE, encoding.BitPacked, encoding.FoR}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, name := range []string{"qty", "region"} {
+				// Not every kind fits every column; failures just leave the
+				// previous representation in place, which is fine here.
+				_, _ = f.table.ReencodeColumn(name, kinds[i%len(kinds)], 0)
+			}
+		}
+	}()
+
+	for pass := 0; pass < 8; pass++ {
+		got, err := f.table.MultiScan(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Value != want[i].Value || len(got[i].Groups) != len(want[i].Groups) {
+				t.Fatalf("pass %d query %d diverged under reencode: got %+v, want %+v",
+					pass, i, got[i], want[i])
+			}
+			for g := range want[i].Groups {
+				if got[i].Groups[g] != want[i].Groups[g] {
+					t.Fatalf("pass %d query %d group %d diverged under reencode", pass, i, g)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMultiScanErrors(t *testing.T) {
+	f := newFixture(t, 1000, memsim.Interleaved)
+	if _, err := f.table.MultiScan([]ScanQuery{{Agg: Sum, Column: "nope"}}); err == nil {
+		t.Error("unknown target column should error")
+	}
+	if _, err := f.table.MultiScan([]ScanQuery{
+		{Agg: Sum, Column: "qty", Preds: []Pred{{Column: "nope", Op: Eq, Value: 1}}}}); err == nil {
+		t.Error("unknown predicate column should error")
+	}
+	if _, err := f.table.MultiScan([]ScanQuery{{Agg: Sum, Column: "qty", Key: "nope"}}); err == nil {
+		t.Error("unknown key column should error")
+	}
+}

@@ -252,19 +252,21 @@ type Region struct {
 	// tally accumulates per-page access bytes for the AutoNUMA simulation
 	// (OSDefault regions only; see autonuma.go).
 	tally *autoTally
+
+	freed atomic.Bool
 }
 
-// Free releases the region's simulated DRAM accounting and drops the
-// backing storage references.
+// Free releases the region's simulated DRAM accounting. The backing
+// storage stays reachable: readers that loaded a reference before the
+// free (Reencode retires the old representation while snapshot-holding
+// scans are still on it) finish on it safely, and the GC reclaims the
+// slices once the last such reference drops.
 func (r *Region) Free() {
-	if r.replicas == nil {
+	if r.freed.Swap(true) {
 		return
 	}
 	r.mem.account(r, -1)
 	r.mem.unregisterRegion(r)
-	r.replicas = nil
-	r.pageSocket = nil
-	r.tally = nil
 }
 
 // Placement returns the region's placement policy.
@@ -494,11 +496,11 @@ func (r *Region) Migrate(p Placement, socket int) (trafficBytes uint64, err erro
 	src := r.replicas[0]
 	// Remove old accounting before checking capacity for the new shape.
 	r.mem.account(r, -1)
-	old := *r
+	oldPlacement, oldSocket := r.placement, r.socket
 	r.placement = p
 	r.socket = socket
 	if !r.mem.CanAlloc(r.words, p, socket) {
-		*r = old
+		r.placement, r.socket = oldPlacement, oldSocket
 		r.mem.account(r, +1)
 		return 0, fmt.Errorf("memsim: out of simulated memory migrating to %v", p)
 	}

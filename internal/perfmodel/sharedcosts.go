@@ -1,0 +1,33 @@
+package perfmodel
+
+import "smartarrays/internal/encoding"
+
+// Shared-scan entries: the per-query cost of riding a cooperative pass
+// that decodes each chunk once for a batch of enrolled queries, versus
+// running an independent zone-pruned scan. The batch amortizes the mask
+// walk (zone check + chunk decode + compare) across its members, while
+// each member still pays its own masked fold; riding the pass also costs
+// latency — an enrolled query waits on the whole cooperative wave, whose
+// heft is the amortized walk plus a typical full fold — captured by the
+// wait factor below.
+
+// SharedScanWaitFactor scales the wraparound-wait penalty of enrolling:
+// the share of one cooperative wave (amortized walk + one full fold) a
+// late-attaching query waits out on top of its own work. Calibrated so a
+// two-query batch over un-prunable data already beats two independent
+// scans, while a zone-resolved selective query (independent cost near
+// the zone-check floor) never enrolls.
+const SharedScanWaitFactor = 0.3
+
+// CostSharedScan prices one query's share of a cooperative pass over a
+// representation summarized by cs: the mask walk amortized over batch
+// enrolled queries, the query's own masked fold (foldShare of the chunks
+// carry live bits), and the wait penalty for completing on wraparound.
+func CostSharedScan(cs encoding.CostStats, foldShare float64, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	walk := (CostZoneCheckPerElem + CostEncodedMask(cs)) / float64(batch)
+	fold := CostEncodedMaskedReduce(cs)
+	return walk + clampShare(foldShare)*fold + SharedScanWaitFactor*(walk+fold)
+}

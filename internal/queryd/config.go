@@ -38,6 +38,17 @@ type Config struct {
 	// once; entries are keyed on catalog version and column generations,
 	// so swaps and re-encodes invalidate without a flush pass.
 	CacheEntries int `json:"cache_entries"`
+	// SharedScan enables the cooperative shared-scan coordinator (off by
+	// default; saserve turns it on): concurrently admitted predicated
+	// Aggregate/GroupBy plans over one table batch into circular-scan
+	// passes that decode each chunk once for the whole batch. Enrollment
+	// stays adaptive per query — see internal/adapt.ScoreSharedScan.
+	SharedScan bool `json:"shared_scan"`
+	// SharedScanSegments is the circular scan's segment count (0 = the
+	// default, 8): late arrivals attach at the next segment boundary and
+	// complete after a full wraparound, so more segments mean finer
+	// attachment latency but more per-pass loop overhead.
+	SharedScanSegments int `json:"shared_scan_segments"`
 }
 
 // DefaultConfig returns serving defaults sized for the load harness: a
@@ -75,7 +86,28 @@ func (c Config) Validate() error {
 	if c.CacheEntries < 0 {
 		return fmt.Errorf("queryd: cache_entries must be non-negative, got %d", c.CacheEntries)
 	}
+	if c.SharedScanSegments < 0 || c.SharedScanSegments > maxSharedScanSegments {
+		return fmt.Errorf("queryd: shared_scan_segments must be in [0, %d], got %d",
+			maxSharedScanSegments, c.SharedScanSegments)
+	}
 	return nil
+}
+
+// defaultSharedScanSegments balances attachment latency (a late query
+// waits at most one segment before scanning) against per-pass loop
+// overhead; maxSharedScanSegments keeps a config from degenerating the
+// scan into per-row passes.
+const (
+	defaultSharedScanSegments = 8
+	maxSharedScanSegments     = 1024
+)
+
+// sharedSegments resolves the configured segment count.
+func (c Config) sharedSegments() int {
+	if c.SharedScanSegments <= 0 {
+		return defaultSharedScanSegments
+	}
+	return c.SharedScanSegments
 }
 
 // queueTimeout resolves the admission deadline for a query that asked for

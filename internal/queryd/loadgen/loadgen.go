@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,7 +63,13 @@ type Options struct {
 	// Mix is the weighted workload; empty uses DefaultMix against the
 	// server's first dataset.
 	Mix []QuerySpec
-	// Seed makes template picks and Poisson gaps reproducible.
+	// AggOnly restricts the mix to table scans (aggregate/groupby) — the
+	// shared-scan phases use it so graph kernels don't dilute the signal.
+	AggOnly bool
+	// Seed makes runs reproducible: every client RNG (closed-loop plan
+	// pickers, the open-loop arrival and pick generators) is derived from
+	// it through decorrelated splitmix64 streams, so the same seed replays
+	// the same pick sequences regardless of scheduling.
 	Seed int64
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
@@ -97,7 +104,24 @@ type Report struct {
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
-	PerOp map[string]uint64 `json:"per_op"`
+	// Server-side shared-scan deltas over the run (zero when the server
+	// runs with sharing off or /stats is unreachable).
+	SharedEnrolled  uint64 `json:"shared_enrolled"`
+	SharedCoalesced uint64 `json:"shared_coalesced"`
+	SharedBypassed  uint64 `json:"shared_bypassed"`
+	SharedBatches   uint64 `json:"shared_batches"`
+
+	// PerOp carries one latency summary per plan type, so a shared-scan
+	// win on aggregates isn't masked by graph kernels in a mixed run.
+	PerOp map[string]OpLatency `json:"per_op"`
+}
+
+// OpLatency is one plan type's served-query latency summary.
+type OpLatency struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // WriteFile writes the report as indented JSON.
@@ -121,8 +145,19 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  cache: %d hits  %d misses  (%.1f%% hit rate)\n",
 			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
 	}
-	for name, n := range r.PerOp {
-		fmt.Fprintf(&b, "  %-12s %d\n", name, n)
+	if r.SharedEnrolled+r.SharedCoalesced+r.SharedBypassed > 0 {
+		fmt.Fprintf(&b, "  shared: %d enrolled  %d coalesced  %d bypassed  %d shared batches\n",
+			r.SharedEnrolled, r.SharedCoalesced, r.SharedBypassed, r.SharedBatches)
+	}
+	names := make([]string, 0, len(r.PerOp))
+	for name := range r.PerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l := r.PerOp[name]
+		fmt.Fprintf(&b, "  %-12s %6d   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n",
+			name, l.Count, l.P50MS, l.P95MS, l.P99MS)
 	}
 	return b.String()
 }
@@ -146,20 +181,30 @@ func FetchMeta(addr string) ([]queryd.Meta, error) {
 	return payload.Datasets, nil
 }
 
-// FetchCacheStats reads the server's result-cache counters from /stats.
-func FetchCacheStats(addr string) (queryd.CacheStats, error) {
+// serverStats is the /stats slice the load harness compares across a run.
+type serverStats struct {
+	Cache  queryd.CacheStats      `json:"cache"`
+	Shared queryd.SharedScanStats `json:"shared_scan"`
+}
+
+// fetchServerStats reads the cumulative cache and shared-scan counters.
+func fetchServerStats(addr string) (serverStats, error) {
 	resp, err := http.Get("http://" + addr + "/stats")
 	if err != nil {
-		return queryd.CacheStats{}, fmt.Errorf("loadgen: fetching stats: %w", err)
+		return serverStats{}, fmt.Errorf("loadgen: fetching stats: %w", err)
 	}
 	defer resp.Body.Close()
-	var payload struct {
-		Cache queryd.CacheStats `json:"cache"`
-	}
+	var payload serverStats
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
-		return queryd.CacheStats{}, fmt.Errorf("loadgen: decoding stats: %w", err)
+		return serverStats{}, fmt.Errorf("loadgen: decoding stats: %w", err)
 	}
-	return payload.Cache, nil
+	return payload, nil
+}
+
+// FetchCacheStats reads the server's result-cache counters from /stats.
+func FetchCacheStats(addr string) (queryd.CacheStats, error) {
+	s, err := fetchServerStats(addr)
+	return s.Cache, err
 }
 
 // q builds a /query body.
@@ -210,6 +255,41 @@ func DefaultMix(m queryd.Meta) []QuerySpec {
 		)
 	}
 	return mix
+}
+
+// TableOnly filters a mix down to table-scan plans (aggregate/groupby) by
+// inspecting each body's op field — the shape the shared-scan smoke phase
+// drives so every request is a coalescing candidate.
+func TableOnly(mix []QuerySpec) []QuerySpec {
+	var out []QuerySpec
+	for _, s := range mix {
+		var body struct {
+			Op string `json:"op"`
+		}
+		if json.Unmarshal(s.Body, &body) == nil && (body.Op == "aggregate" || body.Op == "groupby") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// splitmix64 is the standard 64-bit finalizer used to derive per-client
+// seed streams: adjacent raw seeds fed straight into math/rand produce
+// visibly correlated pick sequences, while splitmix64(seed+i*gamma) gives
+// every client an independent-looking stream from one user-facing seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// streamSeed derives the RNG seed for one numbered stream of a run.
+func streamSeed(seed int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(seed) + (stream+1)*0x9E3779B97F4A7C15))
 }
 
 // picker selects mix entries by weight.
@@ -263,6 +343,12 @@ func Run(opts Options) (*Report, error) {
 		}
 		mix = DefaultMix(metas[0])
 	}
+	if opts.AggOnly {
+		mix = TableOnly(mix)
+		if len(mix) == 0 {
+			return nil, fmt.Errorf("loadgen: AggOnly left no table-scan specs in the mix")
+		}
+	}
 	pk, err := newPicker(mix)
 	if err != nil {
 		return nil, err
@@ -288,9 +374,16 @@ func Run(opts Options) (*Report, error) {
 		dropped   atomic.Uint64
 		inflight  atomic.Int64
 		maxInFl   atomic.Int64
-		perOpMu   sync.Mutex
 	)
-	perOp := map[string]uint64{}
+	// One lock-free histogram per plan type, pre-created before workers
+	// start so the hot path only reads the map (concurrent map reads are
+	// safe; obs.Histogram.Observe is atomic).
+	opHists := make(map[string]*obs.Histogram, len(mix))
+	for i := range mix {
+		if _, dup := opHists[mix[i].Name]; !dup {
+			opHists[mix[i].Name] = &obs.Histogram{}
+		}
+	}
 
 	issue := func(spec *QuerySpec) {
 		cur := inflight.Add(1)
@@ -315,9 +408,7 @@ func Run(opts Options) (*Report, error) {
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			ok.Add(1)
-			perOpMu.Lock()
-			perOp[spec.Name]++
-			perOpMu.Unlock()
+			opHists[spec.Name].ObserveSince(start)
 		case resp.StatusCode == http.StatusTooManyRequests:
 			rejected.Add(1)
 		case resp.StatusCode >= 500:
@@ -327,10 +418,10 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
-	// Cache counters are cumulative on the server; snapshot before and
-	// after so the report carries this run's delta. A fetch failure only
-	// zeroes the cache fields, never fails the run.
-	cacheBefore, cacheErr := FetchCacheStats(opts.Addr)
+	// Cache and shared-scan counters are cumulative on the server;
+	// snapshot before and after so the report carries this run's delta. A
+	// fetch failure only zeroes those fields, never fails the run.
+	statsBefore, statsErr := fetchServerStats(opts.Addr)
 
 	begin := time.Now()
 	deadline := begin.Add(opts.Duration)
@@ -338,10 +429,13 @@ func Run(opts Options) (*Report, error) {
 
 	if opts.Rate > 0 {
 		// Open loop: one goroutine paces Poisson arrivals; each arrival
-		// dispatches unless the outstanding cap is hit.
-		rng := rand.New(rand.NewSource(opts.Seed | 1))
+		// dispatches unless the outstanding cap is hit. Gaps and picks use
+		// separate seed streams so changing the mix never perturbs the
+		// arrival process of a seeded run.
+		gapRNG := rand.New(rand.NewSource(streamSeed(opts.Seed, 0)))
+		pickRNG := rand.New(rand.NewSource(streamSeed(opts.Seed, 1)))
 		for now := time.Now(); now.Before(deadline); now = time.Now() {
-			gap := time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second))
+			gap := time.Duration(gapRNG.ExpFloat64() / opts.Rate * float64(time.Second))
 			time.Sleep(gap)
 			if !time.Now().Before(deadline) {
 				break
@@ -350,7 +444,7 @@ func Run(opts Options) (*Report, error) {
 				dropped.Add(1)
 				continue
 			}
-			spec := pk.pick(rng)
+			spec := pk.pick(pickRNG)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -358,7 +452,8 @@ func Run(opts Options) (*Report, error) {
 			}()
 		}
 	} else {
-		// Closed loop: Concurrency workers back-to-back.
+		// Closed loop: Concurrency workers back-to-back, each with its own
+		// derived seed stream.
 		for c := 0; c < opts.Concurrency; c++ {
 			wg.Add(1)
 			go func(seed int64) {
@@ -367,7 +462,7 @@ func Run(opts Options) (*Report, error) {
 				for time.Now().Before(deadline) {
 					issue(pk.pick(rng))
 				}
-			}(opts.Seed + int64(c) + 1)
+			}(streamSeed(opts.Seed, uint64(c)+2))
 		}
 	}
 	wg.Wait()
@@ -393,20 +488,36 @@ func Run(opts Options) (*Report, error) {
 		Dropped:     dropped.Load(),
 		QPS:         float64(ok.Load()) / elapsed.Seconds(),
 		MaxInFlight: int(maxInFl.Load()),
-		PerOp:       perOp,
+		PerOp:       make(map[string]OpLatency, len(opHists)),
 	}
 	if snap.Count > 0 {
 		rep.P50MS = snap.Quantile(0.50) / 1e6
 		rep.P95MS = snap.Quantile(0.95) / 1e6
 		rep.P99MS = snap.Quantile(0.99) / 1e6
 	}
-	if cacheErr == nil {
-		if cacheAfter, err := FetchCacheStats(opts.Addr); err == nil {
-			rep.CacheHits = cacheAfter.Hits - cacheBefore.Hits
-			rep.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
+	for name, h := range opHists {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		rep.PerOp[name] = OpLatency{
+			Count: s.Count,
+			P50MS: s.Quantile(0.50) / 1e6,
+			P95MS: s.Quantile(0.95) / 1e6,
+			P99MS: s.Quantile(0.99) / 1e6,
+		}
+	}
+	if statsErr == nil {
+		if statsAfter, err := fetchServerStats(opts.Addr); err == nil {
+			rep.CacheHits = statsAfter.Cache.Hits - statsBefore.Cache.Hits
+			rep.CacheMisses = statsAfter.Cache.Misses - statsBefore.Cache.Misses
 			if total := rep.CacheHits + rep.CacheMisses; total > 0 {
 				rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
 			}
+			rep.SharedEnrolled = statsAfter.Shared.Enrolled - statsBefore.Shared.Enrolled
+			rep.SharedCoalesced = statsAfter.Shared.Coalesced - statsBefore.Shared.Coalesced
+			rep.SharedBypassed = statsAfter.Shared.Bypassed - statsBefore.Shared.Bypassed
+			rep.SharedBatches = statsAfter.Shared.SharedBatches - statsBefore.Shared.SharedBatches
 		}
 	}
 	if math.IsNaN(rep.QPS) || math.IsInf(rep.QPS, 0) {

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"time"
@@ -103,5 +104,95 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	report := t.TempDir() + "/report.json"
 	if err := rep.WriteFile(report); err != nil {
 		t.Fatal(err)
+	}
+
+	// Per-op latency summaries: every served op gets a quantile row whose
+	// counts sum to OK.
+	var perOpTotal uint64
+	for name, l := range rep.PerOp {
+		if l.Count == 0 || l.P99MS < l.P50MS {
+			t.Fatalf("per-op %s: bad summary %+v", name, l)
+		}
+		perOpTotal += l.Count
+	}
+	if perOpTotal != rep.OK {
+		t.Fatalf("per-op counts sum to %d, OK %d", perOpTotal, rep.OK)
+	}
+
+	// AggOnly restricts the mix to table scans.
+	aggRep, err := Run(Options{Addr: addr, Duration: 200 * time.Millisecond, Concurrency: 2, AggOnly: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range aggRep.PerOp {
+		switch name {
+		case "agg-sum", "agg-count", "agg-max", "groupby":
+		default:
+			t.Fatalf("AggOnly run served non-table op %q", name)
+		}
+	}
+}
+
+func TestTableOnlyFiltersMix(t *testing.T) {
+	mix := DefaultMix(queryd.Meta{Name: "d", Rows: 10, Vertices: 10})
+	filtered := TableOnly(mix)
+	if len(filtered) == 0 || len(filtered) >= len(mix) {
+		t.Fatalf("TableOnly kept %d of %d specs", len(filtered), len(mix))
+	}
+	for _, s := range filtered {
+		var body struct {
+			Op string `json:"op"`
+		}
+		if err := json.Unmarshal(s.Body, &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Op != "aggregate" && body.Op != "groupby" {
+			t.Fatalf("non-table op %q survived the filter", body.Op)
+		}
+	}
+}
+
+// TestStreamSeedsDecorrelated asserts derived per-client streams are
+// distinct (no two clients replay each other) yet reproducible (the same
+// seed and stream always derive the same source).
+func TestStreamSeedsDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for c := uint64(0); c < 256; c++ {
+		s := streamSeed(42, c)
+		if seen[s] {
+			t.Fatalf("stream %d collides", c)
+		}
+		seen[s] = true
+		if s != streamSeed(42, c) {
+			t.Fatal("streamSeed not deterministic")
+		}
+	}
+	if streamSeed(1, 0) == streamSeed(2, 0) {
+		t.Fatal("different seeds derive the same stream")
+	}
+
+	// The derived streams must yield distinct pick sequences even for
+	// adjacent client indexes — the correlation the raw +c+1 seeding had.
+	mix := []QuerySpec{
+		{Name: "a", Weight: 1, Body: []byte(`{}`)},
+		{Name: "b", Weight: 1, Body: []byte(`{}`)},
+	}
+	pk, err := newPicker(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := func(stream uint64) string {
+		rng := rand.New(rand.NewSource(streamSeed(7, stream)))
+		var s []byte
+		for i := 0; i < 64; i++ {
+			s = append(s, pk.pick(rng).Name[0])
+		}
+		return string(s)
+	}
+	if seq(2) == seq(3) {
+		t.Fatal("adjacent client streams replay the same pick sequence")
+	}
+	if seq(2) != seq(2) {
+		t.Fatal("pick sequence not reproducible for a fixed seed")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartarrays/internal/colstore"
 	"smartarrays/internal/obs"
 	"smartarrays/internal/obs/serve"
 	"smartarrays/internal/queryd/plan"
@@ -49,6 +50,12 @@ import (
 // observation per served query (admission wait included); per-op
 // histograms are named QueryHistogram + "." + op.
 const QueryHistogram = "queryd.query"
+
+// QueueWaitHistogram is the recorder histogram receiving one admission
+// delay observation per admitted query — how long it sat between arrival
+// and holding an in-flight slot. /stats surfaces its quantiles next to
+// in_flight/queued, so queue pressure is visible before it becomes 429s.
+const QueueWaitHistogram = "queryd.queue_wait"
 
 // Server is the query service. Create with NewServer, then Start (or
 // mount Handler under a test server).
@@ -72,6 +79,12 @@ type Server struct {
 	// consulted, so a config swap can turn caching on or off live.
 	cache *resultCache
 
+	// shared is the shared-scan coordinator (see sharedscan.go). Always
+	// allocated; the current snapshot's config decides whether eligible
+	// queries consult it, so a swap can turn sharing on or off live
+	// (in-flight waves simply drain).
+	shared *sharedExec
+
 	// served counts successfully executed queries; errs5xx counts
 	// internal failures (the load gate requires this to stay zero).
 	served  atomic.Uint64
@@ -87,7 +100,7 @@ func NewServer(rt *rts.Runtime, cfg Config, specs []DatasetSpec, rec *obs.Record
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Server{rt: rt, rec: rec, reg: reg, adm: newAdmission(), cache: newResultCache()}
+	s := &Server{rt: rt, rec: rec, reg: reg, adm: newAdmission(), cache: newResultCache(), shared: newSharedExec(rec)}
 
 	// Datasets are built before the scheduler attaches: initialization
 	// wants the exclusive loop engine's first-touch determinism.
@@ -129,6 +142,11 @@ func (s *Server) Dataset(name string) (*Dataset, error) {
 // Config returns the current admission configuration.
 func (s *Server) Config() Config {
 	return s.snap.Load().cfg
+}
+
+// SharedStats snapshots the shared-scan coordinator counters.
+func (s *Server) SharedStats() SharedScanStats {
+	return s.shared.Stats()
 }
 
 // SwapConfig validates and atomically installs a new configuration,
@@ -215,6 +233,9 @@ type queryResponse struct {
 	// Cached marks a result served from the result cache (the query
 	// skipped admission and execution entirely).
 	Cached bool `json:"cached,omitempty"`
+	// Shared marks a result computed by a cooperative shared-scan pass
+	// (enrolled or coalesced) rather than an independent scan.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // errorResponse is the error wire envelope.
@@ -282,17 +303,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	admitStart := time.Now()
 	if err := s.adm.Acquire(snap.cfg, p.Tenant, p.DeadlineMS); err != nil {
 		s.reject(w, snap.cfg, err)
 		return
 	}
+	if s.rec != nil {
+		s.rec.Histogram(QueueWaitHistogram).ObserveSince(admitStart)
+	}
 	defer s.adm.ReleaseTenant(p.Tenant)
-	// Release reads the *latest* config so a raised limit drains the
-	// queue at the new width.
-	defer func() { s.adm.Release(s.snap.Load().cfg) }()
+	// releaseSlot frees the in-flight slot exactly once, reading the
+	// *latest* config so a raised limit drains the queue at the new
+	// width. Shared-scan enrollment calls it early (admission →
+	// enrollment handoff): an enrolled query's work belongs to the
+	// coordinator's cooperative pass, so holding its slot would cap the
+	// batch at MaxInFlight instead of letting the queue drain into it.
+	released := false
+	releaseSlot := func() {
+		if !released {
+			released = true
+			s.adm.Release(s.snap.Load().cfg)
+		}
+	}
+	defer releaseSlot()
 
 	qrt := s.rt.WithPriority(snap.cfg.clampPriority(p.Priority))
-	result, err := execute(qrt, ds, p)
+	result, shared, err := s.executeMaybeShared(snap, ds, p, qrt, releaseSlot)
 	if err != nil {
 		// Post-admission failures are server-side: the plan validated but
 		// execution rejected it (e.g. unknown column) — report 422 for
@@ -316,7 +352,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Result:   result,
 		WallMS:   float64(wall.Nanoseconds()) / 1e6,
 		Priority: qrt.Priority(),
+		Shared:   shared,
 	})
+}
+
+// executeMaybeShared routes an eligible plan through the shared-scan
+// coordinator when the adaptive score says a cooperative pass beats the
+// query's own zone-pruned scan at the current concurrency estimate, and
+// falls through to independent execution otherwise. The estimate is the
+// coordinator's live enrollment plus the larger of the admission
+// backlog and the recent-arrival count: the census sees a standing
+// queue (many-core hosts), the arrival window sees concurrency the OS
+// serializes before admission (few-core hosts) — either way it reflects
+// the batch one wraparound would serve. For a solo query both halves
+// are 1 and the score always bypasses.
+func (s *Server) executeMaybeShared(snap *snapshot, ds *Dataset, p *plan.Plan, qrt *rts.Runtime, handoff func()) (any, bool, error) {
+	if snap.cfg.SharedScan && ds.Table != nil && (p.Op == plan.OpAggregate || p.Op == plan.OpGroupBy) {
+		sc := s.shared.scanner(ds.Table, s.rt)
+		adm := s.adm.Stats()
+		census := adm.InFlight + adm.Queued
+		// Only predicated plans note an arrival: unpredicated ones never
+		// enroll, so they must not count as potential batch mates.
+		if len(p.Preds) > 0 {
+			if recent := sc.noteArrival(time.Now()); recent > census {
+				census = recent
+			}
+		}
+		est := sc.population() + census
+		if _, enroll := decideEnroll(ds.Table, p, est); enroll {
+			handoff()
+			res, err := sc.submit(planScanQuery(p), planKey(p), qrt.Priority(), snap.cfg.sharedSegments())
+			if err != nil {
+				return nil, true, err
+			}
+			return wireScanResult(p, res), true, nil
+		}
+		s.shared.bypassed.Add(1)
+		if len(p.Preds) > 0 {
+			// A bypassed predicated scan costs about one wraparound —
+			// feed its latency back as the arrival-window seed.
+			start := time.Now()
+			result, err := execute(qrt, ds, p)
+			sc.noteIndependent(time.Since(start))
+			return result, false, err
+		}
+	}
+	result, err := execute(qrt, ds, p)
+	return result, false, err
+}
+
+// wireScanResult converts a shared-scan result into the same wire form
+// independent execution produces.
+func wireScanResult(p *plan.Plan, res colstore.ScanResult) any {
+	if p.Op == plan.OpAggregate {
+		return AggregateResult{Value: res.Value}
+	}
+	groups := make([]GroupResult, len(res.Groups))
+	for i, r := range res.Groups {
+		groups[i] = GroupResult{Key: r.Key, Value: r.Value}
+	}
+	return GroupByResult{Groups: groups}
 }
 
 // reject maps admission errors onto 429 with a Retry-After hint.
@@ -353,12 +448,20 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 // statsResponse is the /stats wire form: admission counters plus the
 // served-query latency quantiles from the obs histogram.
 type statsResponse struct {
-	Admission AdmissionStats    `json:"admission"`
-	Cache     CacheStats        `json:"cache"`
-	Served    uint64            `json:"served"`
-	Errors4xx uint64            `json:"errors_4xx"`
-	Errors5xx uint64            `json:"errors_5xx"`
-	LatencyMS *latencyQuantiles `json:"latency_ms,omitempty"`
+	Admission  AdmissionStats  `json:"admission"`
+	Cache      CacheStats      `json:"cache"`
+	SharedScan SharedScanStats `json:"shared_scan"`
+	Served     uint64          `json:"served"`
+	Errors4xx  uint64          `json:"errors_4xx"`
+	Errors5xx  uint64          `json:"errors_5xx"`
+	// ActiveLoops is the scheduler's in-flight loop count at snapshot
+	// time — the executor-level view of concurrency, alongside the
+	// admission-level in_flight.
+	ActiveLoops int               `json:"active_loops"`
+	LatencyMS   *latencyQuantiles `json:"latency_ms,omitempty"`
+	// QueueWaitMS quantifies admission delay (arrival to in-flight slot)
+	// for admitted queries — the queue-pressure signal that precedes 429s.
+	QueueWaitMS *latencyQuantiles `json:"queue_wait_ms,omitempty"`
 }
 
 type latencyQuantiles struct {
@@ -370,24 +473,33 @@ type latencyQuantiles struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := statsResponse{
-		Admission: s.adm.Stats(),
-		Cache:     s.cache.stats(),
-		Served:    s.served.Load(),
-		Errors4xx: s.errs4xx.Load(),
-		Errors5xx: s.errs5xx.Load(),
+		Admission:   s.adm.Stats(),
+		Cache:       s.cache.stats(),
+		SharedScan:  s.shared.Stats(),
+		Served:      s.served.Load(),
+		Errors4xx:   s.errs4xx.Load(),
+		Errors5xx:   s.errs5xx.Load(),
+		ActiveLoops: s.sched.ActiveLoops(),
 	}
 	if s.rec != nil {
-		snap := s.rec.Histogram(QueryHistogram).Snapshot()
-		if snap.Count > 0 {
-			resp.LatencyMS = &latencyQuantiles{
-				Count: snap.Count,
-				P50:   snap.Quantile(0.50) / 1e6,
-				P95:   snap.Quantile(0.95) / 1e6,
-				P99:   snap.Quantile(0.99) / 1e6,
-			}
-		}
+		resp.LatencyMS = quantilesOf(s.rec.Histogram(QueryHistogram).Snapshot())
+		resp.QueueWaitMS = quantilesOf(s.rec.Histogram(QueueWaitHistogram).Snapshot())
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// quantilesOf converts a histogram snapshot to wire quantiles (nil when
+// empty, so the field is omitted).
+func quantilesOf(snap obs.HistogramSnapshot) *latencyQuantiles {
+	if snap.Count == 0 {
+		return nil
+	}
+	return &latencyQuantiles{
+		Count: snap.Count,
+		P50:   snap.Quantile(0.50) / 1e6,
+		P95:   snap.Quantile(0.95) / 1e6,
+		P99:   snap.Quantile(0.99) / 1e6,
+	}
 }
 
 // controlRequest is the POST /control/config wire form: a full new config

@@ -1,0 +1,387 @@
+// Shared-scan coordinator tests: served answers bit-identical to direct
+// library calls while queries coalesce, adaptive bypass on resolvable
+// predicates, and the -race exercise of batching against config swaps and
+// live re-encoding.
+package queryd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"smartarrays/internal/colstore"
+	"smartarrays/internal/encoding"
+	"smartarrays/internal/machine"
+	"smartarrays/internal/obs"
+	"smartarrays/internal/queryd/plan"
+	"smartarrays/internal/rts"
+)
+
+// sharedConfig enables the coordinator with a deep enough queue that the
+// hammer tests never shed.
+func sharedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SharedScan = true
+	cfg.MaxQueue = 1024
+	return cfg
+}
+
+// newSharedTestServer builds a table-only server big enough that scans
+// take long enough for an admission backlog — and therefore a batch — to
+// actually form under concurrent clients; on the tiny fixture every query
+// finishes before the next arrives and the estimate correctly bypasses.
+func newSharedTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	rec := obs.NewRecorder(0)
+	reg := obs.NewArrayRegistry()
+	rt := rts.New(machine.UMA(4))
+	rt.SetRecorder(rec)
+	srv, err := NewServer(rt, cfg, []DatasetSpec{
+		{Name: "demo", Rows: 200000, Seed: 7},
+	}, rec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// sharedTestBodies is the duplicate-heavy predicated mix every shared
+// test drives: un-prunable amount/region/flag predicates, so enrollment
+// wins whenever at least two queries batch.
+func sharedTestBodies() []map[string]any {
+	return []map[string]any{
+		{"dataset": "demo", "op": "aggregate", "agg": "sum", "column": "amount",
+			"where": []map[string]any{{"column": "region", "op": "<", "value": 8}}},
+		{"dataset": "demo", "op": "aggregate", "agg": "count", "column": "amount",
+			"where": []map[string]any{{"column": "flag", "op": "=", "value": 1}}},
+		{"dataset": "demo", "op": "aggregate", "agg": "max", "column": "amount",
+			"where": []map[string]any{{"column": "region", "op": ">=", "value": 4}}},
+		{"dataset": "demo", "op": "groupby", "key": "region", "agg": "sum", "column": "amount",
+			"where": []map[string]any{{"column": "flag", "op": "=", "value": 1}}},
+	}
+}
+
+// directAnswers computes the library-call reference for each body.
+func directAnswers(t *testing.T, srv *Server) []any {
+	t.Helper()
+	ds, err := srv.Dataset("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ds.Table.Aggregate(colstore.Sum, "amount", colstore.Pred{Column: "region", Op: colstore.Lt, Value: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := ds.Table.Aggregate(colstore.Count, "amount", colstore.Pred{Column: "flag", Op: colstore.Eq, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := ds.Table.Aggregate(colstore.Max, "amount", colstore.Pred{Column: "region", Op: colstore.Ge, Value: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := ds.Table.GroupBy("region", colstore.Sum, "amount", colstore.Pred{Column: "flag", Op: colstore.Eq, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []any{sum, count, max, groups}
+}
+
+// checkServedAnswer asserts one 200 envelope matches its reference.
+func checkServedAnswer(t *testing.T, env map[string]json.RawMessage, want any, ctx string) {
+	t.Helper()
+	switch ref := want.(type) {
+	case uint64:
+		if got := resultField[uint64](t, env, "value"); got != ref {
+			t.Errorf("%s: served %d, direct %d", ctx, got, ref)
+		}
+	case []colstore.GroupRow:
+		var res struct {
+			Groups []struct {
+				Key   uint64 `json:"key"`
+				Value uint64 `json:"value"`
+			} `json:"groups"`
+		}
+		if err := json.Unmarshal(env["result"], &res); err != nil {
+			t.Fatalf("%s: decoding groups: %v", ctx, err)
+		}
+		if len(res.Groups) != len(ref) {
+			t.Fatalf("%s: %d groups, direct %d", ctx, len(res.Groups), len(ref))
+		}
+		for i, g := range res.Groups {
+			if g.Key != ref[i].Key || g.Value != ref[i].Value {
+				t.Errorf("%s group %d: served (%d,%d), direct (%d,%d)",
+					ctx, i, g.Key, g.Value, ref[i].Key, ref[i].Value)
+			}
+		}
+	default:
+		t.Fatalf("%s: unhandled reference type %T", ctx, want)
+	}
+}
+
+// TestSharedScanMatchesIndependent hammers the coordinator with
+// duplicate-heavy concurrent aggregates and asserts every served answer
+// is bit-identical to the direct library call, queries actually enrolled
+// and coalesced, and multi-query batches formed.
+func TestSharedScanMatchesIndependent(t *testing.T) {
+	srv, ts := newSharedTestServer(t, sharedConfig())
+	bodies := sharedTestBodies()
+	want := directAnswers(t, srv)
+
+	// Several rounds per client: the arrival window and pacing converge
+	// over tens of milliseconds of sustained flow, so a single burst can
+	// drain before any batch forms.
+	const clients, rounds = 24, 3
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*rounds*len(bodies))
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		// Stagger each client's starting body so distinct plans overlap
+		// too — identical ones only exercise coalescing.
+		go func(start int) {
+			defer wg.Done()
+			for k := 0; k < rounds*len(bodies); k++ {
+				i := (start + k) % len(bodies)
+				code, env := postQuery(t, ts, bodies[i])
+				if code != http.StatusOK {
+					errs <- "non-200 response"
+					continue
+				}
+				checkServedAnswer(t, env, want[i], bodies[i]["op"].(string))
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	stats := srv.SharedStats()
+	if stats.Enrolled == 0 {
+		t.Error("no queries enrolled in shared scans")
+	}
+	if stats.SharedBatches == 0 {
+		t.Error("no multi-query batches formed")
+	}
+	if stats.Coalesced == 0 {
+		t.Error("no duplicate plans coalesced")
+	}
+	if stats.SegmentPasses == 0 {
+		t.Error("no segment passes recorded")
+	}
+}
+
+// TestSharedScanAdaptiveBypass scores the enrollment decision directly:
+// un-prunable uniform predicates must enroll at a multi-query batch
+// estimate, while a selective range on the sorted id column (which the
+// zone index resolves almost everywhere) must bypass at any batch size —
+// sharing would charge it the whole batch's walk.
+func TestSharedScanAdaptiveBypass(t *testing.T) {
+	srv, _ := newTestServer(t, sharedConfig())
+	ds, err := srv.Dataset("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uniform := &plan.Plan{Op: plan.OpAggregate, Agg: colstore.Sum, Column: "amount",
+		Preds: []colstore.Pred{{Column: "region", Op: colstore.Lt, Value: 8}}}
+	score, enroll := decideEnroll(ds.Table, uniform, 8)
+	if !enroll {
+		t.Errorf("uniform predicate should enroll at batch 8: %+v", score)
+	}
+	if _, enroll := decideEnroll(ds.Table, uniform, 1); enroll {
+		t.Error("a solo query must not enroll (no one to share with)")
+	}
+
+	selective := &plan.Plan{Op: plan.OpAggregate, Agg: colstore.Sum, Column: "amount",
+		Preds: []colstore.Pred{{Column: "id", Op: colstore.Lt, Value: 100}}}
+	for _, batch := range []int{2, 8, 64} {
+		if score, enroll := decideEnroll(ds.Table, selective, batch); enroll {
+			t.Errorf("selective zone-resolved predicate should bypass at batch %d: %+v", batch, score)
+		}
+	}
+
+	unpredicated := &plan.Plan{Op: plan.OpAggregate, Agg: colstore.Sum, Column: "amount"}
+	if _, enroll := decideEnroll(ds.Table, unpredicated, 8); enroll {
+		t.Error("unpredicated plans must bypass (no mask walk to share)")
+	}
+}
+
+// TestArrivalWindowEstimate pins the forward-looking half of the batch
+// estimate: near-simultaneous arrivals count each other even when the
+// admission census is empty (few-core hosts serialize handlers before a
+// backlog forms), and arrivals older than one wraparound fall out.
+func TestArrivalWindowEstimate(t *testing.T) {
+	sc := &tableScanner{}
+	base := time.Now()
+	if got := sc.noteArrival(base); got != 1 {
+		t.Fatalf("first arrival counted %d", got)
+	}
+	if got := sc.noteArrival(base.Add(time.Millisecond)); got != 2 {
+		t.Fatalf("arrival inside the window counted %d", got)
+	}
+	// Default window is arrivalWindowMin (no passes measured yet): a
+	// later arrival sees neither.
+	if got := sc.noteArrival(base.Add(time.Second)); got != 1 {
+		t.Fatalf("stale arrivals survived the window: %d", got)
+	}
+
+	// A measured wraparound widens the window up to the cap.
+	sc.wrapNS.Store(int64(50 * time.Millisecond))
+	far := base.Add(2 * time.Second)
+	sc.noteArrival(far)
+	if got := sc.noteArrival(far.Add(40 * time.Millisecond)); got != 2 {
+		t.Fatalf("arrival inside the measured wraparound counted %d", got)
+	}
+	sc.wrapNS.Store(int64(time.Hour))
+	if got := sc.noteArrival(far.Add(arrivalWindowMax + 400*time.Millisecond)); got != 1 {
+		t.Fatalf("window cap not enforced: %d", got)
+	}
+}
+
+// TestSharedScanBypassServed asserts a served selective query still
+// answers correctly and lands in the bypass counter when sharing is on.
+func TestSharedScanBypassServed(t *testing.T) {
+	srv, ts := newTestServer(t, sharedConfig())
+	ds, err := srv.Dataset("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.Table.Aggregate(colstore.Sum, "amount", colstore.Pred{Column: "id", Op: colstore.Lt, Value: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, env := postQuery(t, ts, map[string]any{
+		"dataset": "demo", "op": "aggregate", "agg": "sum", "column": "amount",
+		"where": []map[string]any{{"column": "id", "op": "<", "value": 100}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got := resultField[uint64](t, env, "value"); got != want {
+		t.Errorf("served %d, direct %d", got, want)
+	}
+	if srv.SharedStats().Bypassed == 0 {
+		t.Error("selective query did not land in the bypass counter")
+	}
+}
+
+// TestSharedScanUnderSwapAndReencode races coalescing queries against
+// config swaps toggling SharedScan and live re-encoding of the scanned
+// columns — answers must stay bit-identical throughout. Run with -race.
+func TestSharedScanUnderSwapAndReencode(t *testing.T) {
+	srv, ts := newSharedTestServer(t, sharedConfig())
+	bodies := sharedTestBodies()
+	want := directAnswers(t, srv)
+	ds, err := srv.Dataset("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(2)
+	go func() {
+		defer chaos.Done()
+		on := sharedConfig()
+		off := sharedConfig()
+		off.SharedScan = false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cfg := on
+			if i%2 == 1 {
+				cfg = off
+			}
+			if err := srv.SwapConfig(cfg); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer chaos.Done()
+		kinds := []encoding.Kind{encoding.FoR, encoding.BitPacked, encoding.Dict}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, col := range []string{"amount", "region", "flag"} {
+				_, _ = ds.Table.ReencodeColumn(col, kinds[i%len(kinds)], 0)
+			}
+		}
+	}()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for i, body := range bodies {
+					code, env := postQuery(t, ts, body)
+					if code != http.StatusOK {
+						t.Errorf("status %d under chaos", code)
+						continue
+					}
+					checkServedAnswer(t, env, want[i], bodies[i]["op"].(string))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	chaos.Wait()
+}
+
+// TestStatsExposesSharedScan asserts /stats carries the shared_scan
+// counter block and the admission queue-wait histogram after traffic.
+func TestStatsExposesSharedScan(t *testing.T) {
+	_, ts := newTestServer(t, sharedConfig())
+	for i := 0; i < 4; i++ {
+		code, _ := postQuery(t, ts, sharedTestBodies()[0])
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		SharedScan  *SharedScanStats `json:"shared_scan"`
+		QueueWaitMS *struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"queue_wait_ms"`
+		ActiveLoops *int `json:"active_loops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.SharedScan == nil {
+		t.Error("/stats missing shared_scan block")
+	}
+	if payload.QueueWaitMS == nil || payload.QueueWaitMS.Count == 0 {
+		t.Error("/stats missing queue_wait_ms histogram after served queries")
+	}
+	if payload.ActiveLoops == nil {
+		t.Error("/stats missing active_loops")
+	}
+}

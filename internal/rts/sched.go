@@ -113,6 +113,14 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
+// ActiveLoops reports how many admitted loops are currently in flight —
+// a lock-free load of the active-set snapshot. Serving layers use it as
+// a live concurrency signal (e.g. the shared-scan batch estimate and
+// /stats) without touching the admission bookkeeping.
+func (s *Scheduler) ActiveLoops() int {
+	return len(*s.active.Load())
+}
+
 // pick returns the highest-priority loop with unclaimed batches, or nil.
 // Ties go to the earliest-admitted loop. Lock-free: one atomic pointer
 // load plus a scan of the (typically tiny) active set.

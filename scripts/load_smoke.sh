@@ -75,4 +75,44 @@ echo "load-smoke: repeated-query phase (result cache)"
     -spot-check=false -report saload_cache_report.json \
     -max-5xx 0 -min-qps 1 -min-cache-hits 1
 
-echo "load-smoke: PASSED (reports in saload_report.json, saload_cache_report.json)"
+# Shared-scan phase: a second server with the result cache OFF (so every
+# duplicate plan actually executes) and sharing on. Many clients hammering
+# the small table-scan mix must coalesce into cooperative batches:
+# -min-shared-batches asserts at least one multi-query pass happened, and
+# the qps floor catches a coordinator that serializes instead of sharing.
+echo "load-smoke: shared-scan phase (cache off, high-concurrency duplicate plans)"
+SHARED_CONCURRENCY="${LOAD_SMOKE_SHARED_CONCURRENCY:-32}"
+"$WORK/saserve" -addr 127.0.0.1:0 -addr-file "$WORK/addr2" \
+    -rows "$ROWS" -vertices 0 -cache 0 -shared 2>"$WORK/saserve2.log" &
+SERVER2_PID=$!
+cleanup2() {
+    if [ -n "$SERVER2_PID" ]; then
+        kill "$SERVER2_PID" 2>/dev/null || true
+        wait "$SERVER2_PID" 2>/dev/null || true
+    fi
+}
+trap 'cleanup2; cleanup' EXIT INT TERM
+
+i=0
+while [ ! -s "$WORK/addr2" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: shared-scan server never came up" >&2
+        cat "$WORK/saserve2.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVER2_PID" 2>/dev/null; then
+        echo "load-smoke: shared-scan server exited during startup" >&2
+        cat "$WORK/saserve2.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR2="$(cat "$WORK/addr2")"
+echo "load-smoke: shared-scan server on $ADDR2 (pid $SERVER2_PID)"
+
+"$WORK/saload" -addr "$ADDR2" -duration 1s -concurrency "$SHARED_CONCURRENCY" \
+    -agg-only -spot-check=false -report saload_shared_report.json \
+    -max-5xx 0 -min-qps 1 -min-shared-batches 1
+
+echo "load-smoke: PASSED (reports in saload_report.json, saload_cache_report.json, saload_shared_report.json)"
