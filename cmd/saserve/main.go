@@ -52,6 +52,11 @@ func main() {
 	flag.IntVar(&cfg.CacheEntries, "cache", 1024, "result cache entries (0 = caching off)")
 	flag.BoolVar(&cfg.SharedScan, "shared", true, "coalesce concurrent aggregates into cooperative shared scans")
 	flag.IntVar(&cfg.SharedScanSegments, "shared-segments", 0, "shared-scan circular segments (0 = default)")
+	// Serving defaults to light profile sampling: 1-in-16 keeps the
+	// slow-query log and /debug/query lookups populated at negligible
+	// cost; "explain": true always profiles regardless.
+	flag.IntVar(&cfg.ProfileSample, "profile-sample", 16, "profile 1-in-N queries (0 = off, 1 = every query)")
+	flag.Int64Var(&cfg.SlowQueryMS, "slow-query-ms", 0, "slow-query-log threshold in ms (0 = default 250)")
 	flag.Parse()
 
 	spec, err := machine.ByName(*machineName)

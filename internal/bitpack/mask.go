@@ -181,6 +181,20 @@ func AllZeroMasks(masks []uint64) bool {
 	return live == 0
 }
 
+// ZeroMasks counts the dead mask words — the chunks a masked fold will
+// skip without touching the data. Scan profiling uses it to split a
+// target column's chunks into scanned (live mask) and pruned (dead
+// mask) without instrumenting the masked kernels themselves.
+func ZeroMasks(masks []uint64) uint64 {
+	var n uint64
+	for _, m := range masks {
+		if m == 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // maskSparseCutoff is the popcount below which a masked fold iterates set
 // bits with per-element Get instead of decoding the whole chunk. Get on a
 // generic width is ~10 instructions, a full chunk decode ~6 per element,

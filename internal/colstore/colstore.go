@@ -22,6 +22,7 @@ import (
 	"smartarrays/internal/core"
 	"smartarrays/internal/encoding"
 	"smartarrays/internal/memsim"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/perfmodel"
 	"smartarrays/internal/rts"
 )
@@ -47,6 +48,10 @@ type Table struct {
 	// batches serially (also across concurrent scheduled loops), so no
 	// locking is needed; WithRuntime views share the backing array.
 	scratch [][]uint64
+	// pscratch is the per-worker scan-accounting buffer ScanRange uses to
+	// collect one batch's predicate counts before attributing them to
+	// every profiled group member — same ownership rule as scratch.
+	pscratch [][]core.ScanCounts
 }
 
 // Options configure column storage.
@@ -69,10 +74,11 @@ func NewTable(rt *rts.Runtime, rows uint64) (*Table, error) {
 		return nil, errors.New("colstore: zero rows")
 	}
 	return &Table{
-		rt:      rt,
-		rows:    rows,
-		byName:  map[string]*Column{},
-		scratch: make([][]uint64, len(rt.Workers())),
+		rt:       rt,
+		rows:     rows,
+		byName:   map[string]*Column{},
+		scratch:  make([][]uint64, len(rt.Workers())),
+		pscratch: make([][]core.ScanCounts, len(rt.Workers())),
 	}, nil
 }
 
@@ -375,27 +381,7 @@ func orderPreds(predCols []*Column, preds []Pred) ([]*Column, []Pred) {
 // access profile — the signal orderPreds consumes — at the cost of one
 // mask popcount per predicate, and only when telemetry is attached.
 func buildMasks(w *rts.Worker, lo, hi uint64, predCols []*Column, preds []Pred, masks []uint64) bool {
-	live := core.MaskRange(predCols[0].arr, w.Socket, lo, hi, preds[0].Op.cmp(), preds[0].Value, masks)
-	var prevHits uint64
-	prevKnown := predCols[0].arr.TelemetryID() != 0
-	if prevKnown {
-		prevHits = bitpack.PopcountMasks(masks)
-		predCols[0].arr.AccountPredicate(w.Counters, hi-lo, prevHits)
-	}
-	for i := 1; i < len(preds) && live; i++ {
-		tele := predCols[i].arr.TelemetryID() != 0
-		if tele && !prevKnown {
-			prevHits = bitpack.PopcountMasks(masks)
-		}
-		live = core.MaskRangeAnd(predCols[i].arr, w.Socket, lo, hi, preds[i].Op.cmp(), preds[i].Value, masks)
-		if tele {
-			hits := bitpack.PopcountMasks(masks)
-			predCols[i].arr.AccountPredicate(w.Counters, prevHits, hits)
-			prevHits = hits
-		}
-		prevKnown = tele
-	}
-	return live
+	return buildMasksCounted(w, lo, hi, predCols, preds, masks, nil)
 }
 
 // Aggregate evaluates `SELECT agg(column) WHERE preds...` with a parallel
@@ -417,20 +403,29 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 	if err != nil {
 		return 0, err
 	}
+	prof := t.rt.Profile()
 
 	// Fused fast paths.
 	if len(preds) == 0 {
 		switch agg {
 		case Count:
+			// Answered from the schema; no column is touched.
 			return t.rows, nil
 		case Sum:
-			return t.rt.ReduceSum(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			sp := newScanProfiler(prof, len(t.rt.Workers()), profSlot{target, obs.RoleTarget})
+			v := t.rt.ReduceSum(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+				if sp != nil {
+					return core.ReduceRangeCounted(target.arr, w.Socket, lo, hi, core.ReduceSum, &sp.row(w.ID)[0])
+				}
 				return core.ReduceRange(target.arr, w.Socket, lo, hi, core.ReduceSum)
-			}), nil
+			})
+			sp.fold()
+			return v, nil
 		case Min, Max:
 			// Trivial min/max read straight off the zone index root — the
 			// bounds are exact, so no scan at all.
 			if mn, mx, ok := target.arr.ZoneBounds(); ok {
+				recordZoneAnswered(prof, target)
 				if agg == Min {
 					return mn, nil
 				}
@@ -440,19 +435,41 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 			if agg == Min {
 				op = core.ReduceMin
 			}
-			return t.reduceMinMax(target.arr, op), nil
+			sp := newScanProfiler(prof, len(t.rt.Workers()), profSlot{target, obs.RoleTarget})
+			v := t.reduceMinMax(target.arr, op, sp)
+			sp.fold()
+			return v, nil
 		}
 	}
 	if len(preds) == 1 && agg == Count {
 		// A count only depends on the predicate column.
 		pc, op, threshold := predCols[0], preds[0].Op.cmp(), preds[0].Value
-		return t.rt.ReduceSum(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+		sp := newScanProfiler(prof, len(t.rt.Workers()), profSlot{pc, obs.RolePredicate})
+		v := t.rt.ReduceSum(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
+			if sp != nil {
+				return core.CountRangeCounted(pc.arr, w.Socket, lo, hi, op, threshold, &sp.row(w.ID)[0])
+			}
 			return core.CountRange(pc.arr, w.Socket, lo, hi, op, threshold)
-		}), nil
+		})
+		sp.fold()
+		return v, nil
 	}
 
 	// Selection-bitmap path, cheapest-most-selective predicate first.
 	predCols, preds = orderPreds(predCols, preds)
+	var sp *scanProfiler
+	if prof != nil {
+		slots := make([]profSlot, 0, len(preds)+1)
+		for _, pc := range predCols {
+			slots = append(slots, profSlot{pc, obs.RolePredicate})
+		}
+		if agg != Count {
+			// A count never folds the target column; only list it when the
+			// masked fold will actually consume it.
+			slots = append(slots, profSlot{target, obs.RoleTarget})
+		}
+		sp = newScanProfiler(prof, len(t.rt.Workers()), slots...)
+	}
 	workers := t.rt.Workers()
 	locals := make([]aggState, len(workers))
 	for i := range locals {
@@ -461,7 +478,16 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 	t.rt.ParallelFor(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) {
 		_, n := core.MaskChunks(lo, hi)
 		masks := maskScratch(&t.scratch[w.ID], n)
-		if !buildMasks(w, lo, hi, predCols, preds, masks) {
+		var counts []core.ScanCounts
+		if sp != nil {
+			counts = sp.row(w.ID)
+		}
+		if !buildMasksCounted(w, lo, hi, predCols, preds, masks[:n], counts) {
+			if counts != nil && agg != Count {
+				// Whole batch dead: the target fold never runs, so all of
+				// its chunks here are pruned.
+				counts[len(preds)].Pruned += n
+			}
 			return
 		}
 		local := &locals[w.ID]
@@ -480,11 +506,15 @@ func (t *Table) Aggregate(agg Agg, column string, preds ...Pred) (uint64, error)
 			}
 		}
 		// Count needs no target fold: the popcount above already did it.
+		if counts != nil && agg != Count {
+			accountMasked(&counts[len(preds)], masks[:n])
+		}
 	})
 	total := newAggState(agg)
 	for i := range locals {
 		total.merge(locals[i])
 	}
+	sp.fold()
 	return total.result(), nil
 }
 
@@ -541,15 +571,22 @@ func (t *Table) aggregateScalar(agg Agg, column string, preds ...Pred) (uint64, 
 
 // reduceMinMax runs a fused min/max reduction through the runtime's
 // padded per-worker partials (rts.ReduceMin/ReduceMax), so the slots
-// cannot share cache lines.
-func (t *Table) reduceMinMax(arr *core.SmartArray, op core.ReduceOp) uint64 {
+// cannot share cache lines. sp, when non-nil, accounts the target
+// column in its slot 0.
+func (t *Table) reduceMinMax(arr *core.SmartArray, op core.ReduceOp, sp *scanProfiler) uint64 {
+	body := func(w *rts.Worker, lo, hi uint64, rop core.ReduceOp) uint64 {
+		if sp != nil {
+			return core.ReduceRangeCounted(arr, w.Socket, lo, hi, rop, &sp.row(w.ID)[0])
+		}
+		return core.ReduceRange(arr, w.Socket, lo, hi, rop)
+	}
 	if op == core.ReduceMin {
 		return t.rt.ReduceMin(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
-			return core.ReduceRange(arr, w.Socket, lo, hi, core.ReduceMin)
+			return body(w, lo, hi, core.ReduceMin)
 		})
 	}
 	return t.rt.ReduceMax(0, t.rows, 0, func(w *rts.Worker, lo, hi uint64) uint64 {
-		return core.ReduceRange(arr, w.Socket, lo, hi, core.ReduceMax)
+		return body(w, lo, hi, core.ReduceMax)
 	})
 }
 
@@ -588,6 +625,20 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 	predCols, preds = orderPreds(predCols, preds)
 
 	workers := t.rt.Workers()
+	// Per-query scan accounting: predicates in evaluation order, then the
+	// key and target columns, whose chunks split live/dead along the
+	// selection bitmap (surviving rows pay the Gets, dead chunks never
+	// touch either column).
+	var sp *scanProfiler
+	keyIdx, targetIdx := len(preds), len(preds)+1
+	if prof := t.rt.Profile(); prof != nil {
+		slots := make([]profSlot, 0, len(preds)+2)
+		for _, pc := range predCols {
+			slots = append(slots, profSlot{pc, obs.RolePredicate})
+		}
+		slots = append(slots, profSlot{key, obs.RoleKey}, profSlot{target, obs.RoleTarget})
+		sp = newScanProfiler(prof, len(workers), slots...)
+	}
 	// Representation snapshots resolved once per worker, not once per
 	// claimed batch — and atomically (core.View), so a concurrent
 	// Reencode cannot pair a stale replica with the new decode.
@@ -601,7 +652,16 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 	// forEachMatch feeds every selected row of a batch to fn: the mask
 	// pipeline when predicates exist, a plain row loop otherwise.
 	forEachMatch := func(w *rts.Worker, lo, hi uint64, fn func(row uint64)) {
+		var counts []core.ScanCounts
+		if sp != nil {
+			counts = sp.row(w.ID)
+		}
 		if len(preds) == 0 {
+			if counts != nil {
+				_, n := core.MaskChunks(lo, hi)
+				counts[keyIdx].Scanned += n
+				counts[targetIdx].Scanned += n
+			}
 			for row := lo; row < hi; row++ {
 				fn(row)
 			}
@@ -609,8 +669,20 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 		}
 		_, n := core.MaskChunks(lo, hi)
 		masks := maskScratch(&t.scratch[w.ID], n)
-		if !buildMasks(w, lo, hi, predCols, preds, masks) {
+		var predCounts []core.ScanCounts
+		if counts != nil {
+			predCounts = counts[:len(preds)]
+		}
+		if !buildMasksCounted(w, lo, hi, predCols, preds, masks, predCounts) {
+			if counts != nil {
+				counts[keyIdx].Pruned += n
+				counts[targetIdx].Pruned += n
+			}
 			return
+		}
+		if counts != nil {
+			accountMasked(&counts[keyIdx], masks[:n])
+			accountMasked(&counts[targetIdx], masks[:n])
 		}
 		core.ForEachMasked(lo, hi, masks, fn)
 	}
@@ -645,6 +717,7 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 				rows = append(rows, GroupRow{Key: k, Value: total.result()})
 			}
 		}
+		sp.fold()
 		return rows, nil
 	}
 
@@ -685,6 +758,7 @@ func (t *Table) GroupBy(keyColumn string, agg Agg, column string, preds ...Pred)
 		rows = append(rows, GroupRow{Key: k, Value: st.result()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	sp.fold()
 	return rows, nil
 }
 

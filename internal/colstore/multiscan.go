@@ -18,6 +18,7 @@ import (
 
 	"smartarrays/internal/bitpack"
 	"smartarrays/internal/core"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/rts"
 )
 
@@ -64,6 +65,15 @@ type ScanState struct {
 	domain      uint64
 	denseStates [][]aggState
 	maps        []map[uint64]*aggState
+
+	// Scan profiling (EnableProfile): per-worker ScanCounts rows laid out
+	// as [canonical predicates..., key (grouped only), target]. Predicate
+	// counts arrive in the group lead's evaluation order and are stored
+	// at canonical-signature positions, so states whose orderPreds
+	// ordering diverged from their lead's still attribute correctly.
+	prof      *obs.QueryProfile
+	profRows  [][]core.ScanCounts
+	canonCols []*Column
 }
 
 // Signature is the state's canonical predicate signature — equal
@@ -130,6 +140,142 @@ func (t *Table) NewScanState(q ScanQuery) (*ScanState, error) {
 	return s, nil
 }
 
+// canonOrder returns the canonical (signature) ordering of preds:
+// idx[c] is the index in preds of the c-th canonical position. All
+// states sharing a predicate signature agree on this order, whatever
+// their orderPreds evaluation order is.
+func canonOrder(preds []Pred) []int {
+	keys := make([]string, len(preds))
+	for i, p := range preds {
+		keys[i] = fmt.Sprintf("%s\x00%d\x00%d", p.Column, p.Op, p.Value)
+	}
+	idx := make([]int, len(preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	return idx
+}
+
+// EnableProfile attaches a query profile to the state: every subsequent
+// ScanRange accounts the state's share of the cooperative pass (the
+// chunks logically scanned or pruned on its behalf, even when a group
+// lead did the decode) into per-worker rows, folded into prof by
+// FoldProfile. workers is the driving runtime's worker count. Must be
+// called before the state's first ScanRange.
+func (s *ScanState) EnableProfile(prof *obs.QueryProfile, workers int) {
+	if prof == nil {
+		return
+	}
+	s.prof = prof
+	s.profRows = make([][]core.ScanCounts, workers)
+	idx := canonOrder(s.preds)
+	s.canonCols = make([]*Column, len(idx))
+	for c, i := range idx {
+		s.canonCols[c] = s.predCols[i]
+	}
+}
+
+// Profile returns the attached query profile (nil when unprofiled).
+func (s *ScanState) Profile() *obs.QueryProfile { return s.prof }
+
+func (s *ScanState) numProfSlots() int {
+	n := len(s.preds) + 1
+	if s.grouped {
+		n++
+	}
+	return n
+}
+
+func (s *ScanState) keySlot() int { return len(s.preds) }
+
+func (s *ScanState) targetSlot() int {
+	if s.grouped {
+		return len(s.preds) + 1
+	}
+	return len(s.preds)
+}
+
+// profRow returns worker wid's accounting row, allocating on first use
+// (owner-only, like the aggregation accumulators).
+func (s *ScanState) profRow(wid int) []core.ScanCounts {
+	r := s.profRows[wid]
+	if r == nil {
+		r = make([]core.ScanCounts, s.numProfSlots())
+		s.profRows[wid] = r
+	}
+	return r
+}
+
+// accountPreds attributes one batch's shared mask-build counts (in the
+// group lead's evaluation order; canonPos maps lead position i to the
+// canonical slot) to this state.
+func (s *ScanState) accountPreds(w *rts.Worker, counts []core.ScanCounts, canonPos []int) {
+	if s.prof == nil {
+		return
+	}
+	row := s.profRow(w.ID)
+	for i := range counts {
+		row[canonPos[i]].Add(counts[i])
+	}
+}
+
+// accountDead accounts a batch whose conjunction died: the key and
+// target columns' n chunks were never touched.
+func (s *ScanState) accountDead(w *rts.Worker, n uint64) {
+	if s.prof == nil {
+		return
+	}
+	row := s.profRow(w.ID)
+	if s.grouped {
+		row[s.keySlot()].Pruned += n
+	}
+	if s.grouped || s.agg != Count {
+		row[s.targetSlot()].Pruned += n
+	}
+}
+
+// FoldProfile folds the per-worker accounting rows into the attached
+// profile as ColumnProfile entries. The coordinator calls it once,
+// after the state's final ScanRange and before publishing the result.
+func (s *ScanState) FoldProfile() {
+	if s.prof == nil {
+		return
+	}
+	totals := make([]core.ScanCounts, s.numProfSlots())
+	for _, r := range s.profRows {
+		if r == nil {
+			continue
+		}
+		for i := range totals {
+			totals[i].Add(r[i])
+		}
+	}
+	for c, col := range s.canonCols {
+		s.prof.AddColumn(columnProfile(col, obs.RolePredicate, totals[c]))
+	}
+	if s.grouped {
+		s.prof.AddColumn(columnProfile(s.key, obs.RoleKey, totals[s.keySlot()]))
+	}
+	if s.grouped || s.agg != Count {
+		// A scalar count never touches the target column; everything else
+		// folds it under the mask.
+		s.prof.AddColumn(columnProfile(s.target, obs.RoleTarget, totals[s.targetSlot()]))
+	}
+}
+
+// countScratch returns a zeroed per-worker accounting buffer of n slots.
+func countScratch(slot *[]core.ScanCounts, n int) []core.ScanCounts {
+	if cap(*slot) < n {
+		*slot = make([]core.ScanCounts, n)
+	}
+	s := (*slot)[:n]
+	for i := range s {
+		s[i] = core.ScanCounts{}
+	}
+	return s
+}
+
 // ScanRange advances every state over rows [lo, hi) in one parallel
 // pass. Per batch, states are grouped by predicate signature: the group
 // leader builds the selection bitmap once (into the table's per-worker
@@ -141,8 +287,29 @@ func (t *Table) ScanRange(lo, hi uint64, states []*ScanState) {
 		return
 	}
 	groups := groupScanStates(states)
+	// Per-group profiling prep (control plane, once per call): whether any
+	// member carries a profile, and the lead-order → canonical-slot map
+	// used to attribute the shared mask build to every profiled member.
+	profiled := make([]bool, len(groups))
+	canonPos := make([][]int, len(groups))
+	for gi, grp := range groups {
+		for _, s := range grp {
+			if s.prof != nil {
+				profiled[gi] = true
+				break
+			}
+		}
+		if profiled[gi] && len(grp[0].preds) > 0 {
+			idx := canonOrder(grp[0].preds)
+			pos := make([]int, len(idx))
+			for c, i := range idx {
+				pos[i] = c
+			}
+			canonPos[gi] = pos
+		}
+	}
 	t.rt.ParallelFor(lo, hi, 0, func(w *rts.Worker, blo, bhi uint64) {
-		for _, grp := range groups {
+		for gi, grp := range groups {
 			lead := grp[0]
 			if len(lead.preds) == 0 {
 				for _, s := range grp {
@@ -152,7 +319,24 @@ func (t *Table) ScanRange(lo, hi uint64, states []*ScanState) {
 			}
 			_, n := core.MaskChunks(blo, bhi)
 			masks := maskScratch(&t.scratch[w.ID], n)
-			if !buildMasks(w, blo, bhi, lead.predCols, lead.preds, masks) {
+			var counts []core.ScanCounts
+			if profiled[gi] {
+				counts = countScratch(&t.pscratch[w.ID], len(lead.preds))
+			}
+			live := buildMasksCounted(w, blo, bhi, lead.predCols, lead.preds, masks, counts)
+			if counts != nil {
+				// One decode, N attributions: every profiled member
+				// logically consumed the shared mask build.
+				for _, s := range grp {
+					s.accountPreds(w, counts, canonPos[gi])
+				}
+			}
+			if !live {
+				if profiled[gi] {
+					for _, s := range grp {
+						s.accountDead(w, n)
+					}
+				}
 				continue
 			}
 			for _, s := range grp {
@@ -183,21 +367,31 @@ func groupScanStates(states []*ScanState) [][]*ScanState {
 // scalar aggregates, a plain row loop for grouped ones.
 func (s *ScanState) foldAll(w *rts.Worker, lo, hi uint64) {
 	if s.grouped {
+		if s.prof != nil {
+			_, n := core.MaskChunks(lo, hi)
+			row := s.profRow(w.ID)
+			row[s.keySlot()].Scanned += n
+			row[s.targetSlot()].Scanned += n
+		}
 		s.foldRows(w, lo, hi, nil)
 		return
+	}
+	var sc *core.ScanCounts
+	if s.prof != nil && s.agg != Count {
+		sc = &s.profRow(w.ID)[s.targetSlot()]
 	}
 	local := &s.locals[w.ID]
 	switch s.agg {
 	case Count:
 		local.count += hi - lo
 	case Sum:
-		local.sum += core.ReduceRange(s.target.arr, w.Socket, lo, hi, core.ReduceSum)
+		local.sum += core.ReduceRangeCounted(s.target.arr, w.Socket, lo, hi, core.ReduceSum, sc)
 	case Min:
-		if v := core.ReduceRange(s.target.arr, w.Socket, lo, hi, core.ReduceMin); v < local.min {
+		if v := core.ReduceRangeCounted(s.target.arr, w.Socket, lo, hi, core.ReduceMin, sc); v < local.min {
 			local.min = v
 		}
 	case Max:
-		if v := core.ReduceRange(s.target.arr, w.Socket, lo, hi, core.ReduceMax); v > local.max {
+		if v := core.ReduceRangeCounted(s.target.arr, w.Socket, lo, hi, core.ReduceMax, sc); v > local.max {
 			local.max = v
 		}
 	}
@@ -207,6 +401,15 @@ func (s *ScanState) foldAll(w *rts.Worker, lo, hi uint64) {
 // foldMasked folds the batch's surviving rows under the shared selection
 // bitmap — the same popcount + masked fused fold Aggregate runs.
 func (s *ScanState) foldMasked(w *rts.Worker, lo, hi uint64, masks []uint64) {
+	if s.prof != nil {
+		row := s.profRow(w.ID)
+		if s.grouped {
+			accountMasked(&row[s.keySlot()], masks)
+			accountMasked(&row[s.targetSlot()], masks)
+		} else if s.agg != Count {
+			accountMasked(&row[s.targetSlot()], masks)
+		}
+	}
 	if s.grouped {
 		s.foldRows(w, lo, hi, masks)
 		return

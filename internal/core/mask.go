@@ -34,6 +34,13 @@ func MaskChunks(lo, hi uint64) (firstChunk, numChunks uint64) {
 // of "element op threshold" over [lo, hi) for a reader on socket, clearing
 // bits outside the range, and reports whether any row matched.
 func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, masks []uint64) bool {
+	return MaskRangeCounted(a, socket, lo, hi, op, threshold, masks, nil)
+}
+
+// MaskRangeCounted is MaskRange with per-chunk scan accounting: chunks
+// resolved by a zone verdict accumulate as pruned, chunks that ran the
+// codec compare as scanned. sc may be nil (no accounting).
+func MaskRangeCounted(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, masks []uint64, sc *ScanCounts) bool {
 	if lo >= hi {
 		return false
 	}
@@ -44,13 +51,13 @@ func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresho
 	switch {
 	case zones != nil && rp.enc != nil:
 		enc := rp.enc
-		zoneMaskFill(zones, first, n, op, threshold, masks, func(chunk uint64) uint64 {
+		zoneMaskFill(zones, first, n, op, threshold, masks, sc, func(chunk uint64) uint64 {
 			return enc.CmpMaskChunk(chunk, op, threshold)
 		})
 	case zones != nil:
 		replica := rp.region.Replica(socket)
 		codec := a.codec
-		zoneMaskFill(zones, first, n, op, threshold, masks, func(chunk uint64) uint64 {
+		zoneMaskFill(zones, first, n, op, threshold, masks, sc, func(chunk uint64) uint64 {
 			return codec.CmpMaskChunk(replica, chunk, op, threshold)
 		})
 	case rp.enc != nil:
@@ -58,12 +65,14 @@ func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresho
 		for c := uint64(0); c < n; c++ {
 			masks[c] = enc.CmpMaskChunk(first+c, op, threshold)
 		}
+		sc.addScanned(n)
 	default:
 		replica := rp.region.Replica(socket)
 		codec := a.codec
 		for c := uint64(0); c < n; c++ {
 			masks[c] = codec.CmpMaskChunk(replica, first+c, op, threshold)
 		}
+		sc.addScanned(n)
 	}
 	// Clamp the ragged head and tail: only the first and last covering
 	// chunks can have bits outside [lo, hi).
@@ -82,6 +91,15 @@ func MaskRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresho
 // survives the conjunction. Because MaskRange cleared the out-of-range
 // boundary bits, no re-clamping is needed.
 func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, masks []uint64) bool {
+	return MaskRangeAndCounted(a, socket, lo, hi, op, threshold, masks, nil)
+}
+
+// MaskRangeAndCounted is MaskRangeAnd with per-chunk scan accounting:
+// chunks skipped because an earlier predicate already killed their mask
+// count as pruned for this column (its payload was never touched), as
+// do zone-resolved chunks; only chunks that ran the codec compare count
+// as scanned. sc may be nil.
+func MaskRangeAndCounted(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, masks []uint64, sc *ScanCounts) bool {
 	if lo >= hi {
 		return false
 	}
@@ -89,7 +107,7 @@ func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thre
 	rp := a.rep.Load()
 	first, n := MaskChunks(lo, hi)
 	zones := rp.zones.Load()
-	var live uint64
+	var live, scanned uint64
 	if enc := rp.enc; enc != nil {
 		for c := uint64(0); c < n; c++ {
 			if masks[c] == 0 {
@@ -107,7 +125,10 @@ func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thre
 			}
 			masks[c] &= enc.CmpMaskChunk(first+c, op, threshold)
 			live |= masks[c]
+			scanned++
 		}
+		sc.addScanned(scanned)
+		sc.addPruned(n - scanned)
 		return live != 0
 	}
 	replica := rp.region.Replica(socket)
@@ -128,7 +149,10 @@ func MaskRangeAnd(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thre
 		}
 		masks[c] &= codec.CmpMaskChunk(replica, first+c, op, threshold)
 		live |= masks[c]
+		scanned++
 	}
+	sc.addScanned(scanned)
+	sc.addPruned(n - scanned)
 	return live != 0
 }
 

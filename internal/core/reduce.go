@@ -55,6 +55,28 @@ func (a *SmartArray) checkRange(lo, hi uint64) {
 // dispatching whole chunks to the fused bitpack kernels (SumChunks,
 // MaxChunks, MinChunks) and the ragged head/tail to Codec.Get.
 func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
+	return ReduceRangeCounted(a, socket, lo, hi, op, nil)
+}
+
+// countRaggedEnds accounts the per-element head and tail of a range as
+// scanned chunks: each non-empty ragged end decodes part of one chunk.
+func countRaggedEnds(lo, headEnd, tailStart, hi uint64, sc *ScanCounts) {
+	if sc == nil {
+		return
+	}
+	if lo < headEnd {
+		sc.Scanned++
+	}
+	if tailStart < hi {
+		sc.Scanned++
+	}
+}
+
+// ReduceRangeCounted is ReduceRange with per-chunk scan accounting:
+// chunks the zone index resolves without a payload read (constant folds
+// for sums, chunk bounds for min/max) count as pruned, decoded chunks
+// as scanned. sc may be nil.
+func ReduceRangeCounted(a *SmartArray, socket int, lo, hi uint64, op ReduceOp, sc *ScanCounts) uint64 {
 	identity := uint64(0)
 	if op == ReduceMin {
 		identity = ^uint64(0)
@@ -65,6 +87,7 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 	a.checkRange(lo, hi)
 	rp := a.rep.Load()
 	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
+	countRaggedEnds(lo, headEnd, tailStart, hi, sc)
 
 	acc := identity
 	fold := func(v uint64) {
@@ -89,13 +112,16 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 		if chunkLo < chunkHi {
 			switch {
 			case zones != nil:
-				acc = zoneReduceChunks(zones, chunkLo, chunkHi, op, acc, enc.SumChunks)
+				acc = zoneReduceChunks(zones, chunkLo, chunkHi, op, acc, sc, enc.SumChunks)
 			case op == ReduceSum:
 				acc += enc.SumChunks(chunkLo, chunkHi)
+				sc.addScanned(chunkHi - chunkLo)
 			case op == ReduceMax:
 				fold(enc.MaxChunks(chunkLo, chunkHi))
+				sc.addScanned(chunkHi - chunkLo)
 			default:
 				fold(enc.MinChunks(chunkLo, chunkHi))
+				sc.addScanned(chunkHi - chunkLo)
 			}
 		}
 		for i := tailStart; i < hi; i++ {
@@ -111,15 +137,18 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 	if chunkLo < chunkHi {
 		switch {
 		case zones != nil:
-			acc = zoneReduceChunks(zones, chunkLo, chunkHi, op, acc, func(s, e uint64) uint64 {
+			acc = zoneReduceChunks(zones, chunkLo, chunkHi, op, acc, sc, func(s, e uint64) uint64 {
 				return codec.SumChunks(replica, s, e)
 			})
 		case op == ReduceSum:
 			acc += codec.SumChunks(replica, chunkLo, chunkHi)
+			sc.addScanned(chunkHi - chunkLo)
 		case op == ReduceMax:
 			fold(codec.MaxChunks(replica, chunkLo, chunkHi))
+			sc.addScanned(chunkHi - chunkLo)
 		default:
 			fold(codec.MinChunks(replica, chunkLo, chunkHi))
+			sc.addScanned(chunkHi - chunkLo)
 		}
 	}
 	for i := tailStart; i < hi; i++ {
@@ -129,10 +158,10 @@ func ReduceRange(a *SmartArray, socket int, lo, hi uint64, op ReduceOp) uint64 {
 }
 
 // zoneReduceChunks folds whole chunks [chunkLo, chunkHi) through the zone
-// index: min/max read the per-chunk bounds without touching the payload,
-// sums fold constant chunks in O(1) and batch the rest into contiguous
-// sumChunks spans.
-func zoneReduceChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op ReduceOp, acc uint64, sumChunks func(lo, hi uint64) uint64) uint64 {
+// index: min/max read the per-chunk bounds without touching the payload
+// (every chunk accounts as pruned), sums fold constant chunks in O(1)
+// (pruned) and batch the rest into contiguous sumChunks spans (scanned).
+func zoneReduceChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op ReduceOp, acc uint64, sc *ScanCounts, sumChunks func(lo, hi uint64) uint64) uint64 {
 	if op != ReduceSum {
 		for c := chunkLo; c < chunkHi; c++ {
 			mn, mx := z.ChunkBounds(c)
@@ -144,16 +173,21 @@ func zoneReduceChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op ReduceO
 				acc = mn
 			}
 		}
+		sc.addPruned(chunkHi - chunkLo)
 		return acc
 	}
 	spanLo := chunkLo
+	var pruned uint64
 	for c := chunkLo; c < chunkHi; c++ {
 		if v, ok := z.Constant(c); ok {
 			acc += sumChunks(spanLo, c)
 			spanLo = c + 1
 			acc += v * bitpack.ChunkSize
+			pruned++
 		}
 	}
+	sc.addPruned(pruned)
+	sc.addScanned(chunkHi - chunkLo - pruned)
 	return acc + sumChunks(spanLo, chunkHi)
 }
 
@@ -161,12 +195,21 @@ func zoneReduceChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op ReduceO
 // a reader on socket, dispatching whole chunks to the fused CountWhere
 // kernel.
 func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64) uint64 {
+	return CountRangeCounted(a, socket, lo, hi, op, threshold, nil)
+}
+
+// CountRangeCounted is CountRange with per-chunk scan accounting:
+// zone-resolved chunks (all rows match, or none do) count as pruned,
+// chunks handed to the fused CountWhere kernel as scanned. sc may be
+// nil.
+func CountRangeCounted(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, threshold uint64, sc *ScanCounts) uint64 {
 	if lo >= hi {
 		return 0
 	}
 	a.checkRange(lo, hi)
 	rp := a.rep.Load()
 	headEnd, chunkLo, chunkHi, tailStart := rangeParts(lo, hi)
+	countRaggedEnds(lo, headEnd, tailStart, hi, sc)
 
 	var count uint64
 	zones := rp.zones.Load()
@@ -177,11 +220,12 @@ func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresh
 			}
 		}
 		if zones != nil {
-			count += zoneCountChunks(zones, chunkLo, chunkHi, op, threshold, func(s, e uint64) uint64 {
+			count += zoneCountChunks(zones, chunkLo, chunkHi, op, threshold, sc, func(s, e uint64) uint64 {
 				return enc.CountWhere(s, e, op, threshold)
 			})
 		} else {
 			count += enc.CountWhere(chunkLo, chunkHi, op, threshold)
+			sc.addScanned(chunkHi - chunkLo)
 		}
 		for i := tailStart; i < hi; i++ {
 			if op.Eval(enc.Get(i), threshold) {
@@ -198,11 +242,12 @@ func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresh
 		}
 	}
 	if zones != nil {
-		count += zoneCountChunks(zones, chunkLo, chunkHi, op, threshold, func(s, e uint64) uint64 {
+		count += zoneCountChunks(zones, chunkLo, chunkHi, op, threshold, sc, func(s, e uint64) uint64 {
 			return codec.CountWhere(replica, s, e, op, threshold)
 		})
 	} else {
 		count += codec.CountWhere(replica, chunkLo, chunkHi, op, threshold)
+		sc.addScanned(chunkHi - chunkLo)
 	}
 	for i := tailStart; i < hi; i++ {
 		if op.Eval(codec.Get(replica, i), threshold) {
@@ -214,22 +259,26 @@ func CountRange(a *SmartArray, socket int, lo, hi uint64, op bitpack.Cmp, thresh
 
 // zoneCountChunks counts matches in whole chunks [chunkLo, chunkHi)
 // through the zone index: resolved chunks contribute 0 or ChunkSize
-// matches without touching the payload, and the mixed remainder batches
-// into contiguous countWhere spans.
-func zoneCountChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64, countWhere func(lo, hi uint64) uint64) uint64 {
-	var count uint64
+// matches without touching the payload (accounted as pruned), and the
+// mixed remainder batches into contiguous countWhere spans (scanned).
+func zoneCountChunks(z *encoding.ZoneIndex, chunkLo, chunkHi uint64, op bitpack.Cmp, threshold uint64, sc *ScanCounts, countWhere func(lo, hi uint64) uint64) uint64 {
+	var count, pruned uint64
 	spanLo := chunkLo
 	for c := chunkLo; c < chunkHi; c++ {
 		switch z.Verdict(c, op, threshold) {
 		case encoding.ZoneNone:
 			count += countWhere(spanLo, c)
 			spanLo = c + 1
+			pruned++
 		case encoding.ZoneAll:
 			count += countWhere(spanLo, c)
 			spanLo = c + 1
 			count += bitpack.ChunkSize
+			pruned++
 		}
 	}
+	sc.addPruned(pruned)
+	sc.addScanned(chunkHi - chunkLo - pruned)
 	return count + countWhere(spanLo, chunkHi)
 }
 

@@ -58,9 +58,11 @@ func (a *SmartArray) ZoneBounds() (mn, mx uint64, ok bool) {
 // each chunk through the zone index where possible and calling cmp for the
 // rest. Whole super zones inside the window resolve with one coarse check
 // per encoding.ZoneFanout chunks — on clustered or sorted data most of the
-// window never reads even the fine zone entries.
-func zoneMaskFill(z *encoding.ZoneIndex, first, n uint64, op bitpack.Cmp, threshold uint64, masks []uint64, cmp func(chunk uint64) uint64) {
+// window never reads even the fine zone entries. Zone-resolved chunks
+// accumulate into sc as pruned, cmp chunks as scanned (sc may be nil).
+func zoneMaskFill(z *encoding.ZoneIndex, first, n uint64, op bitpack.Cmp, threshold uint64, masks []uint64, sc *ScanCounts, cmp func(chunk uint64) uint64) {
 	c := uint64(0)
+	var scanned uint64
 	for c < n {
 		chunk := first + c
 		if chunk%encoding.ZoneFanout == 0 && n-c >= encoding.ZoneFanout {
@@ -86,7 +88,10 @@ func zoneMaskFill(z *encoding.ZoneIndex, first, n uint64, op bitpack.Cmp, thresh
 			masks[c] = ^uint64(0)
 		default:
 			masks[c] = cmp(chunk)
+			scanned++
 		}
 		c++
 	}
+	sc.addScanned(scanned)
+	sc.addPruned(n - scanned)
 }

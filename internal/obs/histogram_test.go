@@ -70,11 +70,64 @@ func TestHistogramNilSafe(t *testing.T) {
 
 func TestEmptySnapshotQuantile(t *testing.T) {
 	var s HistogramSnapshot
-	if q := s.Quantile(0.5); q != 0 {
-		t.Fatalf("empty Quantile = %v, want 0", q)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := s.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
 	}
 	if m := s.MeanNs(); m != 0 {
 		t.Fatalf("empty MeanNs = %v, want 0", m)
+	}
+}
+
+func TestSingleObservationQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(100) // bucket 7: (63, 127]
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	// Every non-degenerate quantile of a single observation must land in
+	// the observation's bucket — the estimate can't escape (63, 127].
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v <= 63 || v > 127 {
+			t.Errorf("Quantile(%v) = %v, want in (63, 127]", q, v)
+		}
+	}
+	// Out-of-range q clamps instead of panicking or extrapolating.
+	if v := s.Quantile(2); v <= 63 || v > 127 {
+		t.Errorf("Quantile(2) = %v, want clamped to (63, 127]", v)
+	}
+	if m := s.MeanNs(); m != 100 {
+		t.Errorf("MeanNs = %v, want 100 (exact: sum is tracked outside buckets)", m)
+	}
+}
+
+func TestAllOneBucketQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(100) // all ten land in bucket 7: (63, 127]
+	}
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count)
+	}
+	// With a single occupied bucket the estimate interpolates across that
+	// bucket's span; it must stay inside it and be monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		v := s.Quantile(q)
+		if v <= 63 || v > 127 {
+			t.Errorf("Quantile(%v) = %v, want in (63, 127]", q, v)
+		}
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v decreased below %v", q, v, prev)
+		}
+		prev = v
+	}
+	if v := s.Quantile(1); v != 127 {
+		t.Errorf("Quantile(1) = %v, want the bucket's upper bound 127", v)
 	}
 }
 

@@ -55,6 +55,18 @@ type Recorder struct {
 	// hists is the named latency-histogram table (see histogram.go); it
 	// has its own lock, so Observe never contends with Record.
 	hists histogramSet
+	// tenants is the per-tenant × per-op RED registry (tenantmetrics.go);
+	// like hists it is internally synchronized.
+	tenants TenantMetrics
+}
+
+// Tenants returns the recorder's per-tenant RED registry. Safe on nil
+// (returns nil, and all TenantMetrics methods accept a nil receiver).
+func (r *Recorder) Tenants() *TenantMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.tenants
 }
 
 // NewRecorder creates a recorder whose ring holds capacity events

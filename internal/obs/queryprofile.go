@@ -1,0 +1,226 @@
+// Request-scoped query profiles: the per-query counterpart of the
+// array-level telemetry in counters/ArrayRegistry. A QueryProfile rides
+// the request context from admission to response and is annotated at
+// every layer it crosses — stage wall times in the query service, shared
+// scan enrollment in the coordinator, morsel claims in the scheduler,
+// and chunk-level codec/zone accounting in the column kernels. Hot-path
+// collection follows the same owner-writes/fold-at-barrier discipline as
+// counters.Shard: workers write into per-worker rows (allocated by the
+// layer that runs the loop) and the totals are folded into the profile
+// after the loop barrier, so nothing in a kernel takes a lock or issues
+// a contended atomic per chunk.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Column roles in a ColumnProfile: how the scan touched the column.
+const (
+	RolePredicate = "predicate" // mask build (filter evaluation)
+	RoleTarget    = "target"    // aggregate fold under the mask
+	RoleKey       = "key"       // group-by key extraction
+)
+
+// Cache outcomes recorded on a profile.
+const (
+	CacheHit     = "hit"
+	CacheMiss    = "miss"
+	CacheBypass  = "bypass" // explain or uncacheable op skipped the cache
+	CacheOff     = "off"
+	CacheUnknown = ""
+)
+
+// Shared-scan enrollment outcomes.
+const (
+	SharedEnrolled  = "enrolled"  // rode a cooperative pass with its own state
+	SharedCoalesced = "coalesced" // identical twin already enrolled; shared its result
+	SharedBypassed  = "bypassed"  // executed independently by decision
+	SharedOff       = "off"       // coordinator disabled or op not shareable
+)
+
+// ProfileStage is one timed span of the request lifecycle. Stages are
+// disjoint; their sum approximates TotalNs (the gap is glue code).
+type ProfileStage struct {
+	Name string `json:"name"`
+	Ns   uint64 `json:"ns"`
+}
+
+// ColumnProfile is the per-column kernel accounting for one query: which
+// codec served the scan, how many 64-row chunks were actually decoded
+// (Scanned) versus resolved by zone verdicts, constant folds, or dead
+// masks without touching the payload (Pruned), and the payload bytes
+// attributed to the decoded chunks. Scanned+Pruned equals the column's
+// chunk count for a full-table pass.
+type ColumnProfile struct {
+	Column        string `json:"column"`
+	Role          string `json:"role"`
+	Codec         string `json:"codec"`
+	Chunks        uint64 `json:"chunks"`
+	ChunksScanned uint64 `json:"chunks_scanned"`
+	ChunksPruned  uint64 `json:"chunks_pruned"`
+	BytesDecoded  uint64 `json:"bytes_decoded"`
+}
+
+// SharedScanProfile records how the query interacted with the shared
+// scan coordinator.
+type SharedScanProfile struct {
+	// Mode is one of SharedEnrolled, SharedCoalesced, SharedBypassed,
+	// SharedOff.
+	Mode string `json:"mode"`
+	// SegmentsFolded is the number of circular-scan segments the query's
+	// state was driven through (a full wraparound) when enrolled.
+	SegmentsFolded int `json:"segments_folded,omitempty"`
+	// WraparoundNs is the submit-to-completion latency inside the
+	// coordinator — the cost of riding the circular scan.
+	WraparoundNs uint64 `json:"wraparound_ns,omitempty"`
+}
+
+// QueryProfile is the wire-visible execution profile of one request.
+// During collection it is written by the owning request goroutine plus
+// (for loop counters) the scheduler via atomics; Finalize folds the
+// atomics into the exported fields, after which the profile is immutable
+// and safe to publish to the slow-query log and to marshal concurrently.
+type QueryProfile struct {
+	ID      uint64 `json:"id"`
+	Op      string `json:"op,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Plan    string `json:"plan,omitempty"`
+
+	// Status is "ok", "shed", "expired", "error", or "invalid"; shed and
+	// expired entries are the minimal profiles emitted on admission
+	// rejection so the slow-query log agrees with admission counters.
+	Status     string `json:"status"`
+	HTTPStatus int    `json:"http_status"`
+	Error      string `json:"error,omitempty"`
+
+	Cache  string             `json:"cache,omitempty"`
+	Shared *SharedScanProfile `json:"shared,omitempty"`
+
+	Stages      []ProfileStage `json:"stages"`
+	QueueWaitNs uint64         `json:"queue_wait_ns"`
+	TotalNs     uint64         `json:"total_ns"`
+
+	Columns []ColumnProfile `json:"columns,omitempty"`
+
+	Loops          uint64 `json:"loops"`
+	MorselsClaimed uint64 `json:"morsels_claimed"`
+	MorselsStolen  uint64 `json:"morsels_stolen"`
+
+	start time.Time
+	mu    sync.Mutex
+	loops atomic.Uint64
+	claim atomic.Uint64
+	steal atomic.Uint64
+	final atomic.Bool
+}
+
+// NewQueryProfile starts a profile; the wall clock for TotalNs begins
+// now.
+func NewQueryProfile(id uint64) *QueryProfile {
+	return NewQueryProfileAt(id, time.Now())
+}
+
+// NewQueryProfileAt starts a profile whose wall clock began at start —
+// the request arrival time, which the serving layer stamps before it
+// knows whether the query will be sampled.
+func NewQueryProfileAt(id uint64, start time.Time) *QueryProfile {
+	return &QueryProfile{ID: id, start: start}
+}
+
+// Start returns when the profile's wall clock began.
+func (p *QueryProfile) Start() time.Time { return p.start }
+
+// Stage appends a timed span. Called only by the request goroutine.
+func (p *QueryProfile) Stage(name string, d time.Duration) {
+	if p == nil || d < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.Stages = append(p.Stages, ProfileStage{Name: name, Ns: uint64(d)})
+	p.mu.Unlock()
+}
+
+// AddLoop credits one parallel loop's morsel counts to the query. Safe
+// to call concurrently (the scheduler attributes loops as they retire).
+func (p *QueryProfile) AddLoop(claimed, stolen uint64) {
+	if p == nil {
+		return
+	}
+	p.loops.Add(1)
+	p.claim.Add(claimed)
+	p.steal.Add(stolen)
+}
+
+// AddColumn appends one column's kernel accounting.
+func (p *QueryProfile) AddColumn(cp ColumnProfile) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.Columns = append(p.Columns, cp)
+	p.mu.Unlock()
+}
+
+// NoteShared records the shared-scan outcome.
+func (p *QueryProfile) NoteShared(mode string, segments int, wrap time.Duration) {
+	if p == nil {
+		return
+	}
+	sp := &SharedScanProfile{Mode: mode, SegmentsFolded: segments}
+	if wrap > 0 {
+		sp.WraparoundNs = uint64(wrap)
+	}
+	p.mu.Lock()
+	p.Shared = sp
+	p.mu.Unlock()
+}
+
+// Finalize stamps the terminal status, folds the loop atomics into the
+// exported fields, and fixes TotalNs. After Finalize the profile must be
+// treated as immutable. Finalize is idempotent: only the first call
+// wins, so an error path that finalized early is not overwritten.
+func (p *QueryProfile) Finalize(status string, httpStatus int) {
+	if p == nil || !p.final.CompareAndSwap(false, true) {
+		return
+	}
+	p.mu.Lock()
+	p.Status = status
+	p.HTTPStatus = httpStatus
+	p.TotalNs = uint64(time.Since(p.start))
+	p.Loops = p.loops.Load()
+	p.MorselsClaimed = p.claim.Load()
+	p.MorselsStolen = p.steal.Load()
+	if p.Stages == nil {
+		p.Stages = []ProfileStage{}
+	}
+	p.mu.Unlock()
+}
+
+// Finalized reports whether Finalize has run.
+func (p *QueryProfile) Finalized() bool { return p != nil && p.final.Load() }
+
+type profileCtxKey struct{}
+
+// ContextWithProfile attaches a profile to the request context; every
+// layer below the query service recovers it with ProfileFromContext.
+func ContextWithProfile(ctx context.Context, p *QueryProfile) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, profileCtxKey{}, p)
+}
+
+// ProfileFromContext returns the request's profile, or nil when the
+// request is not sampled.
+func ProfileFromContext(ctx context.Context) *QueryProfile {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(profileCtxKey{}).(*QueryProfile)
+	return p
+}

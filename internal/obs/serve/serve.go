@@ -171,6 +171,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		mw.sample("smartarrays_latency_ns_count", label, float64(h.Count))
 	}
 
+	for _, t := range s.rec.Tenants().Snapshot() {
+		labels := `tenant="` + promEscape(t.Tenant) + `",op="` + promEscape(t.Op) + `"`
+		mw.head("smartarrays_tenant_requests_total", "counter", "Requests per tenant and operation (RED rate).")
+		mw.sample("smartarrays_tenant_requests_total", labels, float64(t.Requests))
+		mw.head("smartarrays_tenant_errors_total", "counter", "Errored requests per tenant and operation (RED errors).")
+		mw.sample("smartarrays_tenant_errors_total", labels, float64(t.Errors))
+		mw.head("smartarrays_tenant_slo_bad_total", "counter", "Requests that errored or exceeded the latency SLO.")
+		mw.sample("smartarrays_tenant_slo_bad_total", labels, float64(t.SLOBad))
+		mw.head("smartarrays_tenant_slo_burn_rate", "gauge", "Error-budget burn rate against the availability objective (1.0 = burning exactly at budget).")
+		mw.sample("smartarrays_tenant_slo_burn_rate", labels, t.BurnRate)
+		mw.head("smartarrays_tenant_latency_ns", "histogram", "Request latency per tenant and operation (RED duration).")
+		for _, b := range t.Latency.Buckets {
+			mw.sample("smartarrays_tenant_latency_ns_bucket", labels+`,le="`+strconv.FormatUint(b.LeNs, 10)+`"`, float64(b.Count))
+		}
+		mw.sample("smartarrays_tenant_latency_ns_bucket", labels+`,le="+Inf"`, float64(t.Latency.Count))
+		mw.sample("smartarrays_tenant_latency_ns_sum", labels, float64(t.Latency.SumNs))
+		mw.sample("smartarrays_tenant_latency_ns_count", labels, float64(t.Latency.Count))
+	}
+
 	for _, p := range s.reg.Profiles() {
 		arr := `array="` + promEscape(p.Name) + `"`
 		mw.head("smartarrays_array_length", "gauge", "Array length in elements.")

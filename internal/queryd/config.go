@@ -49,6 +49,17 @@ type Config struct {
 	// complete after a full wraparound, so more segments mean finer
 	// attachment latency but more per-pass loop overhead.
 	SharedScanSegments int `json:"shared_scan_segments"`
+	// ProfileSample controls query profiling: 0 disables it, 1 profiles
+	// every query, N profiles one in N. A profiled query carries a
+	// QueryProfile through every layer (stage timings, shared-scan
+	// outcome, per-column chunk accounting, morsel claims) and lands in
+	// the slow-query log. "explain": true forces a profile regardless of
+	// the rate. Per-tenant RED metrics are always recorded, unsampled.
+	ProfileSample int `json:"profile_sample"`
+	// SlowQueryMS is the slow-query-log threshold in milliseconds
+	// (0 = the default, 250): profiled queries at or over it enter the
+	// slow ring served at /debug/slowlog.
+	SlowQueryMS int64 `json:"slow_query_ms"`
 }
 
 // DefaultConfig returns serving defaults sized for the load harness: a
@@ -90,7 +101,26 @@ func (c Config) Validate() error {
 		return fmt.Errorf("queryd: shared_scan_segments must be in [0, %d], got %d",
 			maxSharedScanSegments, c.SharedScanSegments)
 	}
+	if c.ProfileSample < 0 {
+		return fmt.Errorf("queryd: profile_sample must be non-negative, got %d", c.ProfileSample)
+	}
+	if c.SlowQueryMS < 0 {
+		return fmt.Errorf("queryd: slow_query_ms must be non-negative, got %d", c.SlowQueryMS)
+	}
 	return nil
+}
+
+// defaultSlowQueryMS is the slow-query-log threshold when the config
+// leaves it zero.
+const defaultSlowQueryMS = 250
+
+// slowQueryThreshold resolves the configured slow-query threshold.
+func (c Config) slowQueryThreshold() time.Duration {
+	ms := c.SlowQueryMS
+	if ms == 0 {
+		ms = defaultSlowQueryMS
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // defaultSharedScanSegments balances attachment latency (a late query

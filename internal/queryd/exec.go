@@ -5,11 +5,13 @@
 package queryd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"smartarrays/internal/analytics"
 	"smartarrays/internal/core"
+	"smartarrays/internal/obs"
 	"smartarrays/internal/queryd/plan"
 	"smartarrays/internal/rts"
 )
@@ -65,8 +67,13 @@ type DegreeResult struct {
 }
 
 // execute runs p against ds on the priority view qrt and returns the
-// wire-form result.
-func execute(qrt *rts.Runtime, ds *Dataset, p *plan.Plan) (any, error) {
+// wire-form result. When the request context carries a query profile it
+// is attached to the runtime view, so every loop the query runs — and
+// the colstore kernels under them — annotates that profile.
+func execute(ctx context.Context, qrt *rts.Runtime, ds *Dataset, p *plan.Plan) (any, error) {
+	if prof := obs.ProfileFromContext(ctx); prof != nil {
+		qrt = qrt.WithProfile(prof)
+	}
 	switch p.Op {
 	case plan.OpAggregate, plan.OpGroupBy:
 		if ds.Table == nil {

@@ -66,6 +66,12 @@ type Options struct {
 	// AggOnly restricts the mix to table scans (aggregate/groupby) — the
 	// shared-scan phases use it so graph kernels don't dilute the signal.
 	AggOnly bool
+	// Tenants spreads the workload over N synthetic tenant identities
+	// (tenant-0 .. tenant-N-1) injected into each request body, so the
+	// server accumulates per-tenant RED series; 0 or 1 sends untagged
+	// requests. Bodies are pre-built per (spec, tenant) at setup, so the
+	// hot path only indexes.
+	Tenants int
 	// Seed makes runs reproducible: every client RNG (closed-loop plan
 	// pickers, the open-loop arrival and pick generators) is derived from
 	// it through decorrelated splitmix64 streams, so the same seed replays
@@ -114,6 +120,29 @@ type Report struct {
 	// PerOp carries one latency summary per plan type, so a shared-scan
 	// win on aggregates isn't masked by graph kernels in a mixed run.
 	PerOp map[string]OpLatency `json:"per_op"`
+
+	// PerTenant carries one client-side latency/throughput summary per
+	// synthetic tenant (present only when Options.Tenants > 1).
+	PerTenant map[string]TenantLatency `json:"per_tenant,omitempty"`
+
+	// SlowlogObserved/SlowlogSlow are the server slow-query-log deltas
+	// over the run — profiles published and profiles over the slow
+	// threshold (zero when profiling is off or /debug/slowlog is
+	// unreachable).
+	SlowlogObserved uint64 `json:"slowlog_observed"`
+	SlowlogSlow     uint64 `json:"slowlog_slow"`
+	// TenantSeries counts the per-tenant × per-op RED series the server
+	// holds after the run (from /stats).
+	TenantSeries int `json:"tenant_series"`
+}
+
+// TenantLatency is one synthetic tenant's client-side summary.
+type TenantLatency struct {
+	Count uint64  `json:"count"`
+	QPS   float64 `json:"qps"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // OpLatency is one plan type's served-query latency summary.
@@ -149,6 +178,20 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  shared: %d enrolled  %d coalesced  %d bypassed  %d shared batches\n",
 			r.SharedEnrolled, r.SharedCoalesced, r.SharedBypassed, r.SharedBatches)
 	}
+	if r.SlowlogObserved > 0 {
+		fmt.Fprintf(&b, "  profiles: %d observed  %d slow  (%d tenant series)\n",
+			r.SlowlogObserved, r.SlowlogSlow, r.TenantSeries)
+	}
+	tenants := make([]string, 0, len(r.PerTenant))
+	for name := range r.PerTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		l := r.PerTenant[name]
+		fmt.Fprintf(&b, "  %-12s %6d   %.1f qps   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n",
+			name, l.Count, l.QPS, l.P50MS, l.P95MS, l.P99MS)
+	}
 	names := make([]string, 0, len(r.PerOp))
 	for name := range r.PerOp {
 		names = append(names, name)
@@ -183,8 +226,9 @@ func FetchMeta(addr string) ([]queryd.Meta, error) {
 
 // serverStats is the /stats slice the load harness compares across a run.
 type serverStats struct {
-	Cache  queryd.CacheStats      `json:"cache"`
-	Shared queryd.SharedScanStats `json:"shared_scan"`
+	Cache   queryd.CacheStats      `json:"cache"`
+	Shared  queryd.SharedScanStats `json:"shared_scan"`
+	Tenants []json.RawMessage      `json:"tenants"`
 }
 
 // fetchServerStats reads the cumulative cache and shared-scan counters.
@@ -205,6 +249,60 @@ func fetchServerStats(addr string) (serverStats, error) {
 func FetchCacheStats(addr string) (queryd.CacheStats, error) {
 	s, err := fetchServerStats(addr)
 	return s.Cache, err
+}
+
+// slowlogStats is the /debug/slowlog slice the harness diffs across a
+// run.
+type slowlogStats struct {
+	Observed uint64 `json:"observed"`
+	Slow     uint64 `json:"slow"`
+}
+
+// fetchSlowlog reads the server's cumulative slow-query-log counters.
+func fetchSlowlog(addr string) (slowlogStats, error) {
+	resp, err := http.Get("http://" + addr + "/debug/slowlog")
+	if err != nil {
+		return slowlogStats{}, fmt.Errorf("loadgen: fetching slowlog: %w", err)
+	}
+	defer resp.Body.Close()
+	var payload slowlogStats
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return slowlogStats{}, fmt.Errorf("loadgen: decoding slowlog: %w", err)
+	}
+	return payload, nil
+}
+
+// SetProfileSample swaps only the server's profile_sample knob through
+// the control plane: read the current config, change the one field,
+// POST the whole thing back (the control plane takes full configs).
+// The load harness uses it to compare profiled and unprofiled phases on
+// one server without restarting it.
+func SetProfileSample(addr string, n int) error {
+	resp, err := http.Get("http://" + addr + "/control/config")
+	if err != nil {
+		return fmt.Errorf("loadgen: fetching config: %w", err)
+	}
+	var cfg queryd.Config
+	err = json.NewDecoder(resp.Body).Decode(&cfg)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("loadgen: decoding config: %w", err)
+	}
+	cfg.ProfileSample = n
+	body, err := json.Marshal(map[string]any{"config": cfg})
+	if err != nil {
+		return err
+	}
+	post, err := http.Post("http://"+addr+"/control/config", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("loadgen: swapping config: %w", err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(post.Body)
+		return fmt.Errorf("loadgen: config swap got %d: %s", post.StatusCode, data)
+	}
+	return nil
 }
 
 // q builds a /query body.
@@ -314,14 +412,29 @@ func newPicker(mix []QuerySpec) (*picker, error) {
 	return p, nil
 }
 
-func (p *picker) pick(rng *rand.Rand) *QuerySpec {
+func (p *picker) pick(rng *rand.Rand) int {
 	n := rng.Intn(p.total)
 	for i, b := range p.bounds {
 		if n < b {
-			return &p.mix[i]
+			return i
 		}
 	}
-	return &p.mix[len(p.mix)-1]
+	return len(p.mix) - 1
+}
+
+// withTenant returns body with the tenant field set. Setup-time only —
+// the hot path indexes pre-built bodies.
+func withTenant(body json.RawMessage, tenant string) json.RawMessage {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return body
+	}
+	m["tenant"] = tenant
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
 }
 
 // Run executes the load run.
@@ -374,6 +487,7 @@ func Run(opts Options) (*Report, error) {
 		dropped   atomic.Uint64
 		inflight  atomic.Int64
 		maxInFl   atomic.Int64
+		tenantSeq atomic.Uint64
 	)
 	// One lock-free histogram per plan type, pre-created before workers
 	// start so the hot path only reads the map (concurrent map reads are
@@ -384,8 +498,31 @@ func Run(opts Options) (*Report, error) {
 			opHists[mix[i].Name] = &obs.Histogram{}
 		}
 	}
+	// Tenant fan-out: bodies[t][i] is spec i stamped with tenant t's
+	// identity; requests round-robin over tenants. One histogram and one
+	// success counter per tenant back the client-side breakdown.
+	nTenants := opts.Tenants
+	if nTenants < 1 {
+		nTenants = 1
+	}
+	var tenantBodies [][]json.RawMessage
+	var tenantHists []*obs.Histogram
+	var tenantOK []atomic.Uint64
+	if nTenants > 1 {
+		tenantBodies = make([][]json.RawMessage, nTenants)
+		tenantHists = make([]*obs.Histogram, nTenants)
+		tenantOK = make([]atomic.Uint64, nTenants)
+		for t := 0; t < nTenants; t++ {
+			name := fmt.Sprintf("tenant-%d", t)
+			tenantBodies[t] = make([]json.RawMessage, len(mix))
+			for i := range mix {
+				tenantBodies[t][i] = withTenant(mix[i].Body, name)
+			}
+			tenantHists[t] = &obs.Histogram{}
+		}
+	}
 
-	issue := func(spec *QuerySpec) {
+	issue := func(idx int) {
 		cur := inflight.Add(1)
 		for {
 			prev := maxInFl.Load()
@@ -395,9 +532,16 @@ func Run(opts Options) (*Report, error) {
 		}
 		defer inflight.Add(-1)
 
+		spec := &mix[idx]
+		body := spec.Body
+		tenant := -1
+		if nTenants > 1 {
+			tenant = int(tenantSeq.Add(1) % uint64(nTenants))
+			body = tenantBodies[tenant][idx]
+		}
 		sent.Add(1)
 		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(spec.Body))
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			transport.Add(1)
 			return
@@ -409,6 +553,10 @@ func Run(opts Options) (*Report, error) {
 		case resp.StatusCode == http.StatusOK:
 			ok.Add(1)
 			opHists[spec.Name].ObserveSince(start)
+			if tenant >= 0 {
+				tenantOK[tenant].Add(1)
+				tenantHists[tenant].ObserveSince(start)
+			}
 		case resp.StatusCode == http.StatusTooManyRequests:
 			rejected.Add(1)
 		case resp.StatusCode >= 500:
@@ -418,10 +566,12 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
-	// Cache and shared-scan counters are cumulative on the server;
-	// snapshot before and after so the report carries this run's delta. A
-	// fetch failure only zeroes those fields, never fails the run.
+	// Cache, shared-scan, and slow-query-log counters are cumulative on
+	// the server; snapshot before and after so the report carries this
+	// run's delta. A fetch failure only zeroes those fields, never fails
+	// the run.
 	statsBefore, statsErr := fetchServerStats(opts.Addr)
+	slowBefore, slowErr := fetchSlowlog(opts.Addr)
 
 	begin := time.Now()
 	deadline := begin.Add(opts.Duration)
@@ -444,11 +594,11 @@ func Run(opts Options) (*Report, error) {
 				dropped.Add(1)
 				continue
 			}
-			spec := pk.pick(pickRNG)
+			idx := pk.pick(pickRNG)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				issue(spec)
+				issue(idx)
 			}()
 		}
 	} else {
@@ -507,6 +657,22 @@ func Run(opts Options) (*Report, error) {
 			P99MS: s.Quantile(0.99) / 1e6,
 		}
 	}
+	if nTenants > 1 {
+		rep.PerTenant = make(map[string]TenantLatency, nTenants)
+		for t := 0; t < nTenants; t++ {
+			s := tenantHists[t].Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			rep.PerTenant[fmt.Sprintf("tenant-%d", t)] = TenantLatency{
+				Count: tenantOK[t].Load(),
+				QPS:   float64(tenantOK[t].Load()) / elapsed.Seconds(),
+				P50MS: s.Quantile(0.50) / 1e6,
+				P95MS: s.Quantile(0.95) / 1e6,
+				P99MS: s.Quantile(0.99) / 1e6,
+			}
+		}
+	}
 	if statsErr == nil {
 		if statsAfter, err := fetchServerStats(opts.Addr); err == nil {
 			rep.CacheHits = statsAfter.Cache.Hits - statsBefore.Cache.Hits
@@ -518,6 +684,13 @@ func Run(opts Options) (*Report, error) {
 			rep.SharedCoalesced = statsAfter.Shared.Coalesced - statsBefore.Shared.Coalesced
 			rep.SharedBypassed = statsAfter.Shared.Bypassed - statsBefore.Shared.Bypassed
 			rep.SharedBatches = statsAfter.Shared.SharedBatches - statsBefore.Shared.SharedBatches
+			rep.TenantSeries = len(statsAfter.Tenants)
+		}
+	}
+	if slowErr == nil {
+		if slowAfter, err := fetchSlowlog(opts.Addr); err == nil {
+			rep.SlowlogObserved = slowAfter.Observed - slowBefore.Observed
+			rep.SlowlogSlow = slowAfter.Slow - slowBefore.Slow
 		}
 	}
 	if math.IsNaN(rep.QPS) || math.IsInf(rep.QPS, 0) {

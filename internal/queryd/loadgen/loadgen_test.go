@@ -24,7 +24,7 @@ func TestPickerRespectsWeights(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	counts := map[string]int{}
 	for i := 0; i < 10000; i++ {
-		counts[pk.pick(rng).Name]++
+		counts[mix[pk.pick(rng)].Name]++
 	}
 	if counts["a"] < 8500 || counts["b"] < 500 {
 		t.Fatalf("picks = %v, want ~9:1", counts)
@@ -185,7 +185,7 @@ func TestStreamSeedsDecorrelated(t *testing.T) {
 		rng := rand.New(rand.NewSource(streamSeed(7, stream)))
 		var s []byte
 		for i := 0; i < 64; i++ {
-			s = append(s, pk.pick(rng).Name[0])
+			s = append(s, mix[pk.pick(rng)].Name[0])
 		}
 		return string(s)
 	}

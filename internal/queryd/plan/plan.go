@@ -54,6 +54,7 @@ type request struct {
 	Priority   *int   `json:"priority"`
 	Tenant     string `json:"tenant"`
 	DeadlineMS *int64 `json:"deadline_ms"`
+	Explain    bool   `json:"explain"`
 }
 
 type wherePred struct {
@@ -81,6 +82,12 @@ type Plan struct {
 	Priority   int
 	Tenant     string
 	DeadlineMS int64 // 0 = use the server's default queue deadline
+
+	// Explain requests the query's execution profile inline in the
+	// response (EXPLAIN ANALYZE). It forces profiling regardless of the
+	// server's sampling rate and bypasses the result cache — a cached
+	// answer has no execution to profile.
+	Explain bool
 }
 
 // aggByName maps wire names onto colstore aggregates.
@@ -126,7 +133,7 @@ func Parse(data []byte) (*Plan, error) {
 		return nil, fmt.Errorf("plan: missing dataset")
 	}
 
-	p := &Plan{Dataset: req.Dataset, Op: Op(req.Op), Tenant: req.Tenant}
+	p := &Plan{Dataset: req.Dataset, Op: Op(req.Op), Tenant: req.Tenant, Explain: req.Explain}
 	if req.Priority != nil {
 		p.Priority = *req.Priority
 	}

@@ -29,12 +29,15 @@
 package queryd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +88,15 @@ type Server struct {
 	// (in-flight waves simply drain).
 	shared *sharedExec
 
+	// slowlog retains finalized query profiles: the last N profiled
+	// queries, the over-threshold slow ring, and the top-K slowest —
+	// served at /debug/slowlog and /debug/query/<id>.
+	slowlog *obs.SlowLog
+	// qid numbers every query (the /debug/query/<id> key); sampleCtr
+	// drives the 1-in-N profile sampling decision.
+	qid       atomic.Uint64
+	sampleCtr atomic.Uint64
+
 	// served counts successfully executed queries; errs5xx counts
 	// internal failures (the load gate requires this to stay zero).
 	served  atomic.Uint64
@@ -101,6 +113,7 @@ func NewServer(rt *rts.Runtime, cfg Config, specs []DatasetSpec, rec *obs.Record
 		return nil, err
 	}
 	s := &Server{rt: rt, rec: rec, reg: reg, adm: newAdmission(), cache: newResultCache(), shared: newSharedExec(rec)}
+	s.slowlog = obs.NewSlowLog(0, 0, cfg.slowQueryThreshold())
 
 	// Datasets are built before the scheduler attaches: initialization
 	// wants the exclusive loop engine's first-touch determinism.
@@ -160,6 +173,7 @@ func (s *Server) SwapConfig(cfg Config) error {
 	old := s.snap.Load()
 	s.snap.Store(&snapshot{cfg: cfg, datasets: old.datasets, version: old.version + 1})
 	s.ctlMu.Unlock()
+	s.slowlog.SetThreshold(cfg.slowQueryThreshold())
 	s.adm.Kick(cfg)
 	return nil
 }
@@ -195,6 +209,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/query/", s.handleQueryLookup)
 	mux.HandleFunc("/control/config", s.handleConfig)
 	if s.rec != nil {
 		intro := serve.New(s.rec, s.reg).Handler()
@@ -227,6 +243,7 @@ func (s *Server) Start(addr string) (string, func() error, error) {
 type queryResponse struct {
 	Op       string  `json:"op"`
 	Dataset  string  `json:"dataset"`
+	QueryID  uint64  `json:"query_id"`
 	Result   any     `json:"result"`
 	WallMS   float64 `json:"wall_ms"`
 	Priority int     `json:"priority"`
@@ -236,38 +253,53 @@ type queryResponse struct {
 	// Shared marks a result computed by a cooperative shared-scan pass
 	// (enrolled or coalesced) rather than an independent scan.
 	Shared bool `json:"shared,omitempty"`
+	// Profile is the inline execution profile, present only when the
+	// request set "explain": true.
+	Profile *obs.QueryProfile `json:"profile,omitempty"`
 }
 
 // errorResponse is the error wire envelope.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	QueryID uint64 `json:"query_id,omitempty"`
 }
 
 // maxQueryBody bounds request bodies; plans are small.
 const maxQueryBody = 1 << 20
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// qStart anchors the whole profile: TotalNs and the latency
+	// histogram both measure arrival to response.
+	qStart := time.Now()
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("queryd: POST a query JSON body"))
 		return
 	}
+	qid := s.qid.Add(1)
+	// One snapshot load; the rest of the request sees a consistent
+	// config+catalog no matter how many swaps land meanwhile.
+	snap := s.snap.Load()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.failQuery(w, http.StatusBadRequest, err, qid, s.maybeProfile(snap.cfg, false, qid, qStart), "invalid", "", "", qStart)
 		return
 	}
 	p, err := plan.Parse(body)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.failQuery(w, http.StatusBadRequest, err, qid, s.maybeProfile(snap.cfg, false, qid, qStart), "invalid", "", "", qStart)
 		return
 	}
-
-	// One snapshot load; the rest of the request sees a consistent
-	// config+catalog no matter how many swaps land meanwhile.
-	snap := s.snap.Load()
+	prof := s.maybeProfile(snap.cfg, p.Explain, qid, qStart)
+	if prof != nil {
+		prof.Op = string(p.Op)
+		prof.Dataset = p.Dataset
+		prof.Tenant = p.Tenant
+		prof.Plan = p.String()
+		prof.Stage("parse", time.Since(qStart))
+	}
 	ds, err := snap.dataset(p.Dataset)
 	if err != nil {
-		s.fail(w, http.StatusNotFound, err)
+		s.failQuery(w, http.StatusNotFound, err, qid, prof, "error", p.Tenant, string(p.Op), qStart)
 		return
 	}
 
@@ -275,41 +307,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// and skips the queue entirely, which is where the repeated-query
 	// throughput win comes from. The key embeds the snapshot version and
 	// the touched columns' generations, so a stale entry is unreachable
-	// by construction. start is taken before the lookup so the latency
-	// histogram covers hits too.
-	start := time.Now()
+	// by construction. Explain skips both lookup and fill: a cached
+	// answer has no execution to profile, and a profiled run must not
+	// poison repeat-latency measurements with its own result.
 	var key string
 	cacheable := false
-	if snap.cfg.CacheEntries > 0 {
+	if p.Explain {
+		prof.Cache = obs.CacheBypass
+	} else if snap.cfg.CacheEntries <= 0 {
+		if prof != nil {
+			prof.Cache = obs.CacheOff
+		}
+	} else {
+		cacheStart := time.Now()
 		key, cacheable = cacheKey(snap, ds, p)
+		var result any
+		hit := false
 		if cacheable {
-			if result, ok := s.cache.get(key); ok {
-				wall := time.Since(start)
-				if s.rec != nil {
-					s.rec.Histogram(QueryHistogram).Observe(uint64(wall.Nanoseconds()))
-					s.rec.Histogram(QueryHistogram + "." + string(p.Op)).Observe(uint64(wall.Nanoseconds()))
-				}
-				s.served.Add(1)
-				writeJSON(w, http.StatusOK, queryResponse{
-					Op:       string(p.Op),
-					Dataset:  p.Dataset,
-					Result:   result,
-					WallMS:   float64(wall.Nanoseconds()) / 1e6,
-					Priority: snap.cfg.clampPriority(p.Priority),
-					Cached:   true,
-				})
-				return
+			result, hit = s.cache.get(key)
+		}
+		if prof != nil {
+			switch {
+			case hit:
+				prof.Cache = obs.CacheHit
+			case cacheable:
+				prof.Cache = obs.CacheMiss
+			default:
+				prof.Cache = obs.CacheBypass
 			}
+			prof.Stage("cache", time.Since(cacheStart))
+		}
+		if hit {
+			wall := time.Since(qStart)
+			if s.rec != nil {
+				s.rec.Histogram(QueryHistogram).Observe(uint64(wall.Nanoseconds()))
+				s.rec.Histogram(QueryHistogram + "." + string(p.Op)).Observe(uint64(wall.Nanoseconds()))
+			}
+			s.observeTenant(p.Tenant, string(p.Op), wall, false)
+			s.finishProfile(prof, "ok", http.StatusOK)
+			s.served.Add(1)
+			writeJSON(w, http.StatusOK, queryResponse{
+				Op:       string(p.Op),
+				Dataset:  p.Dataset,
+				QueryID:  qid,
+				Result:   result,
+				WallMS:   float64(wall.Nanoseconds()) / 1e6,
+				Priority: snap.cfg.clampPriority(p.Priority),
+				Cached:   true,
+			})
+			return
 		}
 	}
 
 	admitStart := time.Now()
 	if err := s.adm.Acquire(snap.cfg, p.Tenant, p.DeadlineMS); err != nil {
-		s.reject(w, snap.cfg, err)
+		if prof != nil {
+			wait := time.Since(admitStart)
+			prof.QueueWaitNs = uint64(wait)
+			prof.Stage("admission", wait)
+		}
+		s.reject(w, snap.cfg, err, qid, prof, p, qStart)
 		return
 	}
+	queueWait := time.Since(admitStart)
 	if s.rec != nil {
-		s.rec.Histogram(QueueWaitHistogram).ObserveSince(admitStart)
+		s.rec.Histogram(QueueWaitHistogram).Observe(uint64(queueWait.Nanoseconds()))
+	}
+	if prof != nil {
+		prof.QueueWaitNs = uint64(queueWait)
+		prof.Stage("admission", queueWait)
 	}
 	defer s.adm.ReleaseTenant(p.Tenant)
 	// releaseSlot frees the in-flight slot exactly once, reading the
@@ -328,32 +394,95 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer releaseSlot()
 
 	qrt := s.rt.WithPriority(snap.cfg.clampPriority(p.Priority))
-	result, shared, err := s.executeMaybeShared(snap, ds, p, qrt, releaseSlot)
+	ctx := obs.ContextWithProfile(r.Context(), prof)
+	execStart := time.Now()
+	result, shared, err := s.executeMaybeShared(ctx, snap, ds, p, qrt, releaseSlot)
+	if prof != nil {
+		prof.Stage("execute", time.Since(execStart))
+	}
 	if err != nil {
 		// Post-admission failures are server-side: the plan validated but
 		// execution rejected it (e.g. unknown column) — report 422 for
 		// plan-shaped issues, which keeps the "zero 5xx" load gate
 		// meaningful for real internal failures.
-		s.fail(w, http.StatusUnprocessableEntity, err)
+		s.failQuery(w, http.StatusUnprocessableEntity, err, qid, prof, "error", p.Tenant, string(p.Op), qStart)
 		return
 	}
 	if cacheable {
 		s.cache.put(key, result, snap.cfg.CacheEntries)
 	}
-	wall := time.Since(start)
+	wall := time.Since(qStart)
 	if s.rec != nil {
 		s.rec.Histogram(QueryHistogram).Observe(uint64(wall.Nanoseconds()))
 		s.rec.Histogram(QueryHistogram + "." + string(p.Op)).Observe(uint64(wall.Nanoseconds()))
 	}
+	s.observeTenant(p.Tenant, string(p.Op), wall, false)
+	s.finishProfile(prof, "ok", http.StatusOK)
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Op:       string(p.Op),
 		Dataset:  p.Dataset,
+		QueryID:  qid,
 		Result:   result,
 		WallMS:   float64(wall.Nanoseconds()) / 1e6,
 		Priority: qrt.Priority(),
 		Shared:   shared,
-	})
+	}
+	if p.Explain {
+		resp.Profile = prof
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maybeProfile decides sampling for one request: explain always
+// profiles, otherwise every Nth query per the configured rate (0 = off).
+// The profile's wall clock is backdated to the request arrival.
+func (s *Server) maybeProfile(cfg Config, explain bool, id uint64, start time.Time) *obs.QueryProfile {
+	if explain {
+		return obs.NewQueryProfileAt(id, start)
+	}
+	n := cfg.ProfileSample
+	if n <= 0 || s.sampleCtr.Add(1)%uint64(n) != 0 {
+		return nil
+	}
+	return obs.NewQueryProfileAt(id, start)
+}
+
+// finishProfile finalizes a profile and publishes it to the slow-query
+// log. Nil-safe: unsampled requests pay one branch.
+func (s *Server) finishProfile(prof *obs.QueryProfile, status string, httpStatus int) {
+	if prof == nil {
+		return
+	}
+	prof.Finalize(status, httpStatus)
+	s.slowlog.Observe(prof)
+}
+
+// observeTenant records the always-on per-tenant RED observation. Every
+// terminal outcome — served, cached, shed, failed — lands here exactly
+// once, so the tenant series agree with the admission and error
+// counters regardless of profile sampling.
+func (s *Server) observeTenant(tenant, op string, d time.Duration, isErr bool) {
+	if s.rec != nil {
+		s.rec.Tenants().Observe(tenant, op, d, isErr)
+	}
+}
+
+// failQuery is fail for requests that have a query ID: it finalizes the
+// profile (when sampled) with the given status so error paths appear in
+// the slow-query log, and records the RED error observation.
+func (s *Server) failQuery(w http.ResponseWriter, status int, err error, qid uint64, prof *obs.QueryProfile, profStatus, tenant, op string, start time.Time) {
+	if status >= 500 {
+		s.errs5xx.Add(1)
+	} else {
+		s.errs4xx.Add(1)
+	}
+	if prof != nil {
+		prof.Error = err.Error()
+	}
+	s.finishProfile(prof, profStatus, status)
+	s.observeTenant(tenant, op, time.Since(start), true)
+	writeJSON(w, status, errorResponse{Error: err.Error(), QueryID: qid})
 }
 
 // executeMaybeShared routes an eligible plan through the shared-scan
@@ -366,8 +495,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // serializes before admission (few-core hosts) — either way it reflects
 // the batch one wraparound would serve. For a solo query both halves
 // are 1 and the score always bypasses.
-func (s *Server) executeMaybeShared(snap *snapshot, ds *Dataset, p *plan.Plan, qrt *rts.Runtime, handoff func()) (any, bool, error) {
-	if snap.cfg.SharedScan && ds.Table != nil && (p.Op == plan.OpAggregate || p.Op == plan.OpGroupBy) {
+func (s *Server) executeMaybeShared(ctx context.Context, snap *snapshot, ds *Dataset, p *plan.Plan, qrt *rts.Runtime, handoff func()) (any, bool, error) {
+	prof := obs.ProfileFromContext(ctx)
+	tableOp := ds.Table != nil && (p.Op == plan.OpAggregate || p.Op == plan.OpGroupBy)
+	if snap.cfg.SharedScan && tableOp {
 		sc := s.shared.scanner(ds.Table, s.rt)
 		adm := s.adm.Stats()
 		census := adm.InFlight + adm.Queued
@@ -381,23 +512,29 @@ func (s *Server) executeMaybeShared(snap *snapshot, ds *Dataset, p *plan.Plan, q
 		est := sc.population() + census
 		if _, enroll := decideEnroll(ds.Table, p, est); enroll {
 			handoff()
-			res, err := sc.submit(planScanQuery(p), planKey(p), qrt.Priority(), snap.cfg.sharedSegments())
+			res, err := sc.submit(planScanQuery(p), planKey(p), qrt.Priority(), snap.cfg.sharedSegments(), prof)
 			if err != nil {
 				return nil, true, err
 			}
 			return wireScanResult(p, res), true, nil
 		}
 		s.shared.bypassed.Add(1)
+		prof.NoteShared(obs.SharedBypassed, 0, 0)
 		if len(p.Preds) > 0 {
 			// A bypassed predicated scan costs about one wraparound —
 			// feed its latency back as the arrival-window seed.
 			start := time.Now()
-			result, err := execute(qrt, ds, p)
+			result, err := execute(ctx, qrt, ds, p)
 			sc.noteIndependent(time.Since(start))
 			return result, false, err
 		}
 	}
-	result, err := execute(qrt, ds, p)
+	if tableOp && prof != nil && prof.Shared == nil {
+		// An otherwise shareable table op ran with the coordinator
+		// disabled — distinct from a bypass decision.
+		prof.NoteShared(obs.SharedOff, 0, 0)
+	}
+	result, err := execute(ctx, qrt, ds, p)
 	return result, false, err
 }
 
@@ -414,13 +551,25 @@ func wireScanResult(p *plan.Plan, res colstore.ScanResult) any {
 	return GroupByResult{Groups: groups}
 }
 
-// reject maps admission errors onto 429 with a Retry-After hint.
-func (s *Server) reject(w http.ResponseWriter, cfg Config, err error) {
+// reject maps admission errors onto 429 with a Retry-After hint. A
+// sampled rejection still emits a (minimal) profile whose status names
+// the shed reason, so the slow-query log and tenant error series agree
+// with the admission counters.
+func (s *Server) reject(w http.ResponseWriter, cfg Config, err error, qid uint64, prof *obs.QueryProfile, p *plan.Plan, start time.Time) {
 	s.errs4xx.Add(1)
 	// Both shed and expired queries should back off about one queue
 	// drain; the timeout is the honest upper bound.
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", (cfg.QueueTimeoutMS+999)/1000))
-	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	status := "shed"
+	if errors.Is(err, ErrDeadline) {
+		status = "expired"
+	}
+	if prof != nil {
+		prof.Error = err.Error()
+	}
+	s.finishProfile(prof, status, http.StatusTooManyRequests)
+	s.observeTenant(p.Tenant, string(p.Op), time.Since(start), true)
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), QueryID: qid})
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
@@ -462,9 +611,26 @@ type statsResponse struct {
 	// QueueWaitMS quantifies admission delay (arrival to in-flight slot)
 	// for admitted queries — the queue-pressure signal that precedes 429s.
 	QueueWaitMS *latencyQuantiles `json:"queue_wait_ms,omitempty"`
+	// SharedBatch is the distribution of queries served per cooperative
+	// segment pass (raw batch sizes, not milliseconds) — the "how much
+	// sharing actually happens" signal behind shared_scan's counters.
+	SharedBatch *countQuantiles `json:"shared_batch,omitempty"`
+	// Tenants is the per-tenant × per-op RED/SLO series (also exported
+	// in Prometheus form at /metrics).
+	Tenants []obs.TenantOpSnapshot `json:"tenants,omitempty"`
 }
 
 type latencyQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// countQuantiles is a count-valued distribution (batch sizes), kept
+// distinct from latencyQuantiles so the units are unambiguous on the
+// wire.
+type countQuantiles struct {
 	Count uint64  `json:"count"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
@@ -484,8 +650,34 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.rec != nil {
 		resp.LatencyMS = quantilesOf(s.rec.Histogram(QueryHistogram).Snapshot())
 		resp.QueueWaitMS = quantilesOf(s.rec.Histogram(QueueWaitHistogram).Snapshot())
+		resp.SharedBatch = countQuantilesOf(s.rec.Histogram(SharedBatchHistogram).Snapshot())
+		resp.Tenants = s.rec.Tenants().Snapshot()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSlowlog serves the retained profile rings: threshold, counts,
+// top-K slowest, and the slow ring sorted slowest-first.
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.slowlog.Snapshot())
+}
+
+// handleQueryLookup serves one retained profile by ID
+// (/debug/query/<id>). 404 means the query was never sampled or has
+// been evicted from the rings.
+func (s *Server) handleQueryLookup(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/debug/query/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("queryd: bad query id %q", idStr))
+		return
+	}
+	prof := s.slowlog.Lookup(id)
+	if prof == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("queryd: no retained profile for query %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, prof)
 }
 
 // quantilesOf converts a histogram snapshot to wire quantiles (nil when
@@ -499,6 +691,20 @@ func quantilesOf(snap obs.HistogramSnapshot) *latencyQuantiles {
 		P50:   snap.Quantile(0.50) / 1e6,
 		P95:   snap.Quantile(0.95) / 1e6,
 		P99:   snap.Quantile(0.99) / 1e6,
+	}
+}
+
+// countQuantilesOf converts a count-valued histogram snapshot to wire
+// quantiles (nil when empty).
+func countQuantilesOf(snap obs.HistogramSnapshot) *countQuantiles {
+	if snap.Count == 0 {
+		return nil
+	}
+	return &countQuantiles{
+		Count: snap.Count,
+		P50:   snap.Quantile(0.50),
+		P95:   snap.Quantile(0.95),
+		P99:   snap.Quantile(0.99),
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"smartarrays/internal/adapt"
+	"smartarrays/internal/bitpack"
 	"smartarrays/internal/colstore"
 	"smartarrays/internal/obs"
 	"smartarrays/internal/queryd/plan"
@@ -270,7 +271,12 @@ func (sc *tableScanner) population() int {
 // submit enrolls one query and blocks until the circular scan has
 // covered the full table for it. Identical enrolled plans coalesce:
 // the data is immutable, so a twin's answer is this query's answer.
-func (sc *tableScanner) submit(q colstore.ScanQuery, key string, prio, segments int) (colstore.ScanResult, error) {
+// When prof is non-nil the enrollment's per-column chunk accounting is
+// attached to the scan state (folded by the driver before completion)
+// and the coordinator outcome — mode, segments ridden, wraparound
+// latency — is noted on the profile.
+func (sc *tableScanner) submit(q colstore.ScanQuery, key string, prio, segments int, prof *obs.QueryProfile) (colstore.ScanResult, error) {
+	submitStart := time.Now()
 	sc.mu.Lock()
 	if twin := sc.findTwin(key); twin != nil {
 		me := &sharedQuery{key: key, done: make(chan struct{})}
@@ -278,6 +284,9 @@ func (sc *tableScanner) submit(q colstore.ScanQuery, key string, prio, segments 
 		sc.mu.Unlock()
 		sc.se.coalesced.Add(1)
 		<-me.done
+		// A coalesced twin rode another query's state: no column detail
+		// to report, just the outcome and the wait.
+		prof.NoteShared(obs.SharedCoalesced, 0, time.Since(submitStart))
 		return me.res, nil
 	}
 	st, err := sc.tbl.NewScanState(q)
@@ -285,6 +294,7 @@ func (sc *tableScanner) submit(q colstore.ScanQuery, key string, prio, segments 
 		sc.mu.Unlock()
 		return colstore.ScanResult{}, err
 	}
+	st.EnableProfile(prof, len(sc.rt.Workers()))
 	me := &sharedQuery{key: key, st: st, prio: prio, done: make(chan struct{})}
 	sc.pending = append(sc.pending, me)
 	if !sc.running {
@@ -296,9 +306,13 @@ func (sc *tableScanner) submit(q colstore.ScanQuery, key string, prio, segments 
 		}
 		go sc.drive()
 	}
+	// The driver pins the segment count while running; read the pinned
+	// value so the profile reports the wraparound actually ridden.
+	segs := sc.segments
 	sc.mu.Unlock()
 	sc.se.enrolled.Add(1)
 	<-me.done
+	prof.NoteShared(obs.SharedEnrolled, segs, time.Since(submitStart))
 	return me.res, nil
 }
 
@@ -326,6 +340,26 @@ const (
 	sharedPaceCap      = 2 * time.Millisecond
 	sharedPaceMaxBatch = 64
 )
+
+// segBound is boundary i of n equal-ish segments over rows, rounded to
+// the 64-row chunk grid so a cooperative pass never splits a chunk
+// across segments. The per-query chunk accounting depends on this:
+// unaligned boundaries make adjacent segments each scan the shared
+// partial chunk, breaking scanned+pruned == chunks for enrolled
+// queries. Rounding may leave tiny-table segments empty (lo == hi);
+// ScanRange no-ops on those and the query still retires after its
+// wraparound.
+func segBound(i int, rows uint64, n int) uint64 {
+	if i >= n {
+		return rows
+	}
+	b := uint64(i) * rows / uint64(n)
+	b = (b + bitpack.ChunkSize/2) / bitpack.ChunkSize * bitpack.ChunkSize
+	if b > rows {
+		b = rows
+	}
+	return b
+}
 
 // drive is the circular scan: attach pending queries at the cursor, run
 // one cooperative segment pass at the wave's top priority, retire
@@ -404,8 +438,8 @@ func (sc *tableScanner) drive() {
 			}
 		}
 
-		lo := uint64(seg) * rows / uint64(segments)
-		hi := uint64(seg+1) * rows / uint64(segments)
+		lo := segBound(seg, rows, segments)
+		hi := segBound(seg+1, rows, segments)
 		states := make([]*colstore.ScanState, len(batch))
 		prio := batch[0].prio
 		for i, q := range batch {
@@ -443,6 +477,10 @@ func (sc *tableScanner) drive() {
 		sc.active = keep
 		sc.mu.Unlock()
 		for _, q := range finished {
+			// Fold the per-worker scan accounting into the query's profile
+			// before completion: close(q.done) publishes it to the waiting
+			// handler.
+			q.st.FoldProfile()
 			q.res = q.st.Result()
 			for _, d := range q.dups {
 				d.res = q.res

@@ -81,6 +81,11 @@ type Runtime struct {
 	// prio is the priority scheduled loops submitted through this view
 	// run at (see WithPriority). Unused without a scheduler.
 	prio int
+	// prof, when set, receives per-loop morsel attribution (loops run,
+	// batches claimed/stolen) for the one query this view serves. Like
+	// prio it is carried on read-only views (WithProfile), so concurrent
+	// handlers tag their own loops without mutating the shared runtime.
+	prof *obs.QueryProfile
 }
 
 // New creates a runtime for the given machine with one worker per hardware
@@ -201,6 +206,24 @@ func (r *Runtime) WithPriority(p int) *Runtime {
 // Priority reports the loop priority this runtime view submits at.
 func (r *Runtime) Priority() int { return r.prio }
 
+// WithProfile returns a read-only view of the runtime whose loops are
+// attributed to the given query profile: each loop run through the view
+// adds its claimed/stolen batch counts via QueryProfile.AddLoop. Like
+// WithPriority, the view shares everything else with its parent; a nil
+// profile returns a view that records nothing (the hot path stays
+// branch-only).
+func (r *Runtime) WithProfile(p *obs.QueryProfile) *Runtime {
+	view := *r
+	view.prof = p
+	return &view
+}
+
+// Profile returns the query profile this runtime view attributes loops
+// to (nil when the request is not sampled). Layers below the runtime —
+// colstore's scan kernels — use this to reach the request's profile
+// without threading it through every call signature.
+func (r *Runtime) Profile() *obs.QueryProfile { return r.prof }
+
 // SetStealing enables or disables Callisto's cross-socket work stealing: a
 // worker whose socket stripe drains starts claiming batches from the
 // stripe with the most remaining work. Stealing defaults off because the
@@ -317,6 +340,7 @@ func (r *Runtime) runLoop(sh loopShape, body func(w *Worker, lo, hi uint64)) {
 		lo, hi := sh.batch(0)
 		body(w, lo, hi)
 		r.recordLoop(sh.begin, sh.end, sh.grain, func(claims []uint64) { claims[w.ID] = 1 })
+		r.prof.AddLoop(1, 0)
 		return
 	}
 
@@ -333,7 +357,7 @@ func (r *Runtime) runLoop(sh loopShape, body func(w *Worker, lo, hi uint64)) {
 	// by its owning worker's goroutine (after its claim loop exits), so no
 	// synchronization beyond the final wg.Wait is needed.
 	var claims, steals []uint64
-	if r.rec != nil {
+	if r.rec != nil || r.prof != nil {
 		claims = make([]uint64, len(r.workers))
 		steals = make([]uint64, len(r.workers))
 	}
@@ -409,7 +433,17 @@ func (r *Runtime) runLoop(sh loopShape, body func(w *Worker, lo, hi uint64)) {
 	}
 	wg.Wait()
 	if claims != nil {
-		r.rec.RecordLoop(obs.NewLoopStats(sh.begin, sh.end, sh.grain, claims, steals, r.workerSockets()))
+		if r.rec != nil {
+			r.rec.RecordLoop(obs.NewLoopStats(sh.begin, sh.end, sh.grain, claims, steals, r.workerSockets()))
+		}
+		if r.prof != nil {
+			var claimed, stolen uint64
+			for i := range claims {
+				claimed += claims[i]
+				stolen += steals[i]
+			}
+			r.prof.AddLoop(claimed, stolen)
+		}
 	}
 }
 

@@ -56,7 +56,7 @@ type schedLoop struct {
 	finished chan struct{}
 
 	// claims[i] counts batches worker i executed, allocated only when the
-	// submitting runtime records loop stats.
+	// submitting runtime records loop stats or attributes a query profile.
 	claims []uint64
 }
 
@@ -190,7 +190,7 @@ func (s *Scheduler) worker(w *Worker) {
 func (s *Scheduler) run(r *Runtime, sh loopShape, body func(w *Worker, lo, hi uint64)) {
 	l := &schedLoop{shape: sh, body: body, prio: r.prio, finished: make(chan struct{})}
 	var start time.Time
-	if r.rec != nil {
+	if r.rec != nil || r.prof != nil {
 		l.claims = make([]uint64, len(s.rt.workers))
 		start = time.Now()
 	}
@@ -225,5 +225,14 @@ func (s *Scheduler) run(r *Runtime, sh loopShape, body func(w *Worker, lo, hi ui
 	if r.rec != nil {
 		r.rec.Histogram(LoopHistogram).ObserveSince(start)
 		r.rec.RecordLoop(obs.NewLoopStats(sh.begin, sh.end, sh.grain, l.claims, nil, s.rt.workerSockets()))
+	}
+	if r.prof != nil {
+		// Morsel attribution: in scheduled mode every batch is a claim
+		// from the global cursor (there are no stripes to steal across).
+		var claimed uint64
+		for _, c := range l.claims {
+			claimed += c
+		}
+		r.prof.AddLoop(claimed, 0)
 	}
 }

@@ -115,4 +115,83 @@ echo "load-smoke: shared-scan server on $ADDR2 (pid $SERVER2_PID)"
     -agg-only -spot-check=false -report saload_shared_report.json \
     -max-5xx 0 -min-qps 1 -min-shared-batches 1
 
-echo "load-smoke: PASSED (reports in saload_report.json, saload_cache_report.json, saload_shared_report.json)"
+# Profiling phase: a third server with BOTH the cache and shared scans
+# off — every query actually executes, and execution cost is stable run
+# to run (cooperative batching is adaptive, so a shared server's qps is
+# legitimately bimodal and would flake a tight A/B gate). Two runs
+# distinguished only by the profile sampling rate swapped through the
+# control plane: the baseline runs unprofiled, the profiled run samples
+# every query and spreads load over two tenants, and the gates assert
+# (a) qps degraded at most LOAD_SMOKE_MAX_PROFILE_OVERHEAD_PCT vs the
+# baseline, (b) the slow-query log actually retained profiles, (c) the
+# server accumulated per-tenant RED series.
+MAX_PROFILE_OVERHEAD_PCT="${LOAD_SMOKE_MAX_PROFILE_OVERHEAD_PCT:-5}"
+echo "load-smoke: profiling phase (always-on profiles vs unprofiled baseline)"
+"$WORK/saserve" -addr 127.0.0.1:0 -addr-file "$WORK/addr3" \
+    -rows "$ROWS" -vertices 0 -cache 0 -shared=false 2>"$WORK/saserve3.log" &
+SERVER3_PID=$!
+cleanup3() {
+    if [ -n "$SERVER3_PID" ]; then
+        kill "$SERVER3_PID" 2>/dev/null || true
+        wait "$SERVER3_PID" 2>/dev/null || true
+    fi
+}
+trap 'cleanup3; cleanup2; cleanup' EXIT INT TERM
+
+i=0
+while [ ! -s "$WORK/addr3" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: profiling server never came up" >&2
+        cat "$WORK/saserve3.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVER3_PID" 2>/dev/null; then
+        echo "load-smoke: profiling server exited during startup" >&2
+        cat "$WORK/saserve3.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR3="$(cat "$WORK/addr3")"
+echo "load-smoke: profiling server on $ADDR3 (pid $SERVER3_PID)"
+
+# Unprofiled baseline: median of three runs. Single-run A/B on a busy
+# CI host has more variance than the overhead bound; the median shakes
+# out transient slowdowns in either direction.
+for b in 1 2 3; do
+    "$WORK/saload" -addr "$ADDR3" -duration "$DURATION" -concurrency "$CONCURRENCY" \
+        -agg-only -spot-check=false -set-profile-sample 0 \
+        -report saload_baseline_report.json \
+        -max-5xx 0 -min-qps 1
+    q="$(sed -n 's/.*"qps": \([0-9.]*\).*/\1/p' saload_baseline_report.json)"
+    if [ -z "$q" ]; then
+        echo "load-smoke: FAILED: no qps in saload_baseline_report.json" >&2
+        exit 1
+    fi
+    echo "$q" >> "$WORK/baseline_qps"
+done
+BASELINE_QPS="$(sort -g "$WORK/baseline_qps" | sed -n 2p)"
+echo "load-smoke: baseline qps (median of 3): $BASELINE_QPS"
+
+# Profiled run, gated: up to three attempts. A genuine overhead
+# regression fails every attempt; a one-off noisy draw does not.
+attempt=1
+while :; do
+    if "$WORK/saload" -addr "$ADDR3" -duration "$DURATION" -concurrency "$CONCURRENCY" \
+        -agg-only -spot-check=false -set-profile-sample 1 -tenants 2 \
+        -report saload_profile_report.json \
+        -max-5xx 0 -min-qps 1 \
+        -baseline-qps "$BASELINE_QPS" -max-profile-overhead-pct "$MAX_PROFILE_OVERHEAD_PCT" \
+        -min-slowlog-entries 1 -min-tenant-series 2; then
+        break
+    fi
+    if [ "$attempt" -ge 3 ]; then
+        echo "load-smoke: FAILED: profiling gates failed on all $attempt attempts" >&2
+        exit 1
+    fi
+    attempt=$((attempt + 1))
+    echo "load-smoke: profiling gate flaked, retrying (attempt $attempt of 3)"
+done
+
+echo "load-smoke: PASSED (reports in saload_report.json, saload_cache_report.json, saload_shared_report.json, saload_baseline_report.json, saload_profile_report.json)"
